@@ -1,0 +1,81 @@
+// Shared scaffolding for the experiment harnesses: standard flags, world
+// construction, and paper-vs-measured table helpers. Every bench binary
+// regenerates one table or figure of the paper (see DESIGN.md §4); the
+// absolute counts are down-scaled to the simulated universe, the *shape*
+// is what must match.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "analysis/scan_runner.hpp"
+#include "analysis/table_writer.hpp"
+#include "inetmodel/internet.hpp"
+#include "util/flags.hpp"
+#include "util/strings.hpp"
+
+namespace iwscan::bench {
+
+struct World {
+  sim::EventLoop loop;
+  std::unique_ptr<sim::Network> network;
+  std::unique_ptr<model::InternetModel> internet;
+};
+
+inline void define_common_flags(util::Flags& flags) {
+  flags.define_u64("scale", 16,
+                   "log2 of the simulated address-space size (16 = 65k addresses)");
+  flags.define_u64("seed", 42, "population seed (same seed → same Internet)");
+  flags.define_u64("scan-seed", 7, "scanner seed (address order, ISNs)");
+  flags.define_double("loss", 0.002, "per-packet per-direction loss rate");
+  flags.define_double("rate", 150000, "scan rate in probed targets/second");
+  flags.define_bool("csv", false, "emit CSV instead of aligned tables");
+}
+
+/// Parse flags; on --help or error prints and exits the process.
+inline void parse_or_exit(util::Flags& flags, int argc, char** argv) {
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage(argv[0]).c_str());
+    std::exit(2);
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage(argv[0]).c_str());
+    std::exit(0);
+  }
+}
+
+inline World make_world(const util::Flags& flags) {
+  World world;
+  world.network = std::make_unique<sim::Network>(world.loop, flags.u64("seed") ^ 1);
+  model::ModelConfig config;
+  config.scale_log2 = static_cast<int>(flags.u64("scale"));
+  config.seed = flags.u64("seed");
+  config.loss_rate = flags.real("loss");
+  world.internet = std::make_unique<model::InternetModel>(*world.network, config);
+  world.internet->install();
+  return world;
+}
+
+inline analysis::ScanOptions scan_options(const util::Flags& flags,
+                                          core::ProbeProtocol protocol) {
+  analysis::ScanOptions options;
+  options.protocol = protocol;
+  options.rate_pps = flags.real("rate");
+  options.scan_seed = flags.u64("scan-seed");
+  return options;
+}
+
+inline void print_table(const analysis::TextTable& table, bool csv) {
+  std::fputs((csv ? table.csv() : table.render()).c_str(), stdout);
+}
+
+inline void print_header(std::string_view experiment, std::string_view paper_ref) {
+  std::printf("== %.*s ==\n(reproduces %.*s of \"Large-Scale Scanning of TCP's "
+              "Initial Window\", IMC'17)\n\n",
+              static_cast<int>(experiment.size()), experiment.data(),
+              static_cast<int>(paper_ref.size()), paper_ref.data());
+}
+
+}  // namespace iwscan::bench

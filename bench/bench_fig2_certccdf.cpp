@@ -1,0 +1,77 @@
+// Fig. 2 — CCDF of certificate chain lengths (censys-anchored model) with
+// the TCP payload coverage lines for several IW/MSS combinations.
+#include "bench_common.hpp"
+
+#include "inetmodel/censys_certs.hpp"
+#include "util/rng.hpp"
+
+using namespace iwscan;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  bench::define_common_flags(flags);
+  flags.define_u64("samples", 500'000, "number of chain lengths to draw");
+  bench::parse_or_exit(flags, argc, argv);
+
+  bench::print_header("Fig. 2: certificate chain length CCDF", "Figure 2");
+
+  const std::uint64_t samples = flags.u64("samples");
+  util::Rng rng(flags.u64("seed"));
+  std::vector<std::size_t> lengths(samples);
+  double mean = 0.0;
+  std::size_t min_len = SIZE_MAX;
+  std::size_t max_len = 0;
+  for (auto& length : lengths) {
+    length = model::CertChainDistribution::sample(rng);
+    mean += static_cast<double>(length);
+    min_len = std::min(min_len, length);
+    max_len = std::max(max_len, length);
+  }
+  mean /= static_cast<double>(samples);
+
+  std::printf("samples=%s  mean=%s  min=%s  max=%s\n",
+              util::format_count(samples).c_str(),
+              util::format_bytes(static_cast<std::uint64_t>(mean)).c_str(),
+              util::format_bytes(min_len).c_str(),
+              util::format_bytes(max_len).c_str());
+  std::printf("(paper/censys: 36.5M hosts, mean 2186 B, min 36 B, max 65 kB)\n\n");
+
+  // Empirical CCDF at 256 B steps up to 8 kB (the figure's x-range).
+  std::sort(lengths.begin(), lengths.end());
+  const auto ccdf_at = [&](double bytes) {
+    const auto it = std::lower_bound(lengths.begin(), lengths.end(),
+                                     static_cast<std::size_t>(bytes));
+    return static_cast<double>(lengths.end() - it) / static_cast<double>(samples);
+  };
+
+  analysis::TextTable table({"bytes", "CCDF(measured)", "CCDF(model)"});
+  for (double bytes = 0; bytes <= 8192; bytes += 256) {
+    table.add_row({std::to_string(static_cast<int>(bytes)),
+                   analysis::fmt_double(ccdf_at(bytes), 4),
+                   analysis::fmt_double(model::CertChainDistribution::ccdf(bytes), 4)});
+  }
+  bench::print_table(table, flags.boolean("csv"));
+
+  // Coverage lines: payload needed to fill IW·MSS bytes, for the announced
+  // MSS of 64 B and a typical path MSS of 1336 B (per the paper's figure).
+  std::printf("\nIW coverage (share of hosts whose chain fills the IW):\n");
+  analysis::TextTable coverage({"MSS", "IW", "IW*MSS bytes", "P(chain >= IW*MSS)"});
+  const struct {
+    int mss;
+    int iws[4];
+    int count;
+  } lines[] = {{64, {1, 2, 4, 10}, 4}, {1336, {1, 2, 4, 0}, 3}};
+  for (const auto& line : lines) {
+    for (int i = 0; i < line.count; ++i) {
+      const int iw = line.iws[i];
+      const double needed = static_cast<double>(line.mss) * iw;
+      coverage.add_row({std::to_string(line.mss), std::to_string(iw),
+                        std::to_string(static_cast<int>(needed)),
+                        util::format_percent(ccdf_at(needed))});
+    }
+  }
+  bench::print_table(coverage, flags.boolean("csv"));
+  std::printf("\n(paper: MSS 64 & IW10 → 640 B covered by >86%% of hosts; even a\n"
+              " hypothetical IW 34 → 2176 B still reaches 50%%)\n");
+  return 0;
+}

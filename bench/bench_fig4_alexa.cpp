@@ -1,0 +1,70 @@
+// Fig. 4 — IW distribution of the popular-host ("Alexa 1M") population for
+// HTTP and TLS (log-scale counts in the paper; we print counts + shares),
+// plus the success rates quoted in §4.1 (80% HTTP / 85% TLS).
+#include "bench_common.hpp"
+
+#include <set>
+
+#include "analysis/iw_table.hpp"
+
+using namespace iwscan;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  bench::define_common_flags(flags);
+  bench::parse_or_exit(flags, argc, argv);
+
+  bench::print_header("Fig. 4: Alexa-style popular-host IW distribution", "Figure 4");
+  auto world = bench::make_world(flags);
+
+  std::map<std::string, std::map<std::uint32_t, std::uint64_t>> histograms;
+  std::set<std::uint32_t> iw_axis;
+
+  for (const auto protocol : {core::ProbeProtocol::Http, core::ProbeProtocol::Tls}) {
+    const bool is_http = protocol == core::ProbeProtocol::Http;
+    analysis::ScanOptions options = bench::scan_options(flags, protocol);
+    options.popular_space = true;
+    const auto output =
+        analysis::run_iw_scan(*world.network, *world.internet, options);
+    const auto summary = analysis::summarize(output.records);
+    const auto histogram = analysis::iw_histogram(output.records);
+    std::printf("%s: reachable %s, success rate %s (paper: %s)\n",
+                is_http ? "HTTP" : "TLS",
+                util::format_count(summary.reachable).c_str(),
+                util::format_percent(summary.success_rate()).c_str(),
+                is_http ? "80%" : "85%");
+    for (const auto& [iw, count] : histogram) iw_axis.insert(iw);
+    histograms[is_http ? "HTTP" : "TLS"] = histogram;
+  }
+
+  std::printf("\nIW histogram (threshold: >= 3 hosts; the paper uses >= 100 at\n"
+              "full Alexa-1M scale):\n");
+  analysis::TextTable table({"IW", "HTTP #IPs", "HTTP %", "TLS #IPs", "TLS %"});
+  std::map<std::string, std::uint64_t> totals;
+  for (const auto& [tag, histogram] : histograms) {
+    for (const auto& [iw, count] : histogram) totals[tag] += count;
+  }
+  for (const std::uint32_t iw : iw_axis) {
+    const auto http_it = histograms["HTTP"].find(iw);
+    const auto tls_it = histograms["TLS"].find(iw);
+    const std::uint64_t http_count =
+        http_it == histograms["HTTP"].end() ? 0 : http_it->second;
+    const std::uint64_t tls_count =
+        tls_it == histograms["TLS"].end() ? 0 : tls_it->second;
+    if (http_count < 3 && tls_count < 3) continue;
+    table.add_row(
+        {std::to_string(iw), util::format_count(http_count),
+         totals["HTTP"]
+             ? util::format_percent(static_cast<double>(http_count) /
+                                    static_cast<double>(totals["HTTP"]))
+             : "-",
+         util::format_count(tls_count),
+         totals["TLS"] ? util::format_percent(static_cast<double>(tls_count) /
+                                              static_cast<double>(totals["TLS"]))
+                       : "-"});
+  }
+  bench::print_table(table, flags.boolean("csv"));
+  std::printf("\n(paper: IW10 dominates popular hosts with >85%% HTTP / 80%% TLS,\n"
+              " vs. the much lower IW10 share in the whole IPv4 space — Fig. 3)\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Fig. 5 — per-AS IW distributions clustered with DBSCAN on the
+// (IW1, IW2, IW4, IW10, other) share vector, for HTTP and TLS; plus the
+// per-AS breakdown for the representatives named in the paper's figure.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/dbscan.hpp"
+#include "analysis/iw_table.hpp"
+
+using namespace iwscan;
+
+namespace {
+
+struct AsVector {
+  const model::AsInfo* as = nullptr;
+  std::uint64_t successes = 0;
+  std::vector<double> shares;  // IW1, IW2, IW4, IW10, other
+};
+
+std::vector<AsVector> per_as_vectors(
+    const std::vector<core::HostScanRecord>& records,
+    const model::AsRegistry& registry) {
+  std::map<const model::AsInfo*, std::map<std::uint32_t, std::uint64_t>> counts;
+  for (const auto& record : records) {
+    if (record.outcome != core::HostOutcome::Success) continue;
+    const auto* as = registry.find(record.ip);
+    if (as) ++counts[as][record.iw_segments];
+  }
+  std::vector<AsVector> vectors;
+  for (const auto& [as, histogram] : counts) {
+    AsVector v;
+    v.as = as;
+    std::uint64_t total = 0;
+    for (const auto& [iw, count] : histogram) total += count;
+    if (total < 20) continue;  // too few successes to characterize the AS
+    v.successes = total;
+    const auto share = [&](std::uint32_t iw) {
+      const auto it = histogram.find(iw);
+      return it == histogram.end()
+                 ? 0.0
+                 : static_cast<double>(it->second) / static_cast<double>(total);
+    };
+    v.shares = {share(1), share(2), share(4), share(10)};
+    v.shares.push_back(std::max(
+        0.0, 1.0 - v.shares[0] - v.shares[1] - v.shares[2] - v.shares[3]));
+    vectors.push_back(std::move(v));
+  }
+  return vectors;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  bench::define_common_flags(flags);
+  flags.define_double("epsilon", 0.15, "DBSCAN neighbourhood radius");
+  flags.define_u64("min-points", 3, "DBSCAN density threshold");
+  bench::parse_or_exit(flags, argc, argv);
+
+  bench::print_header("Fig. 5: per-AS IW clusters (DBSCAN)", "Figure 5");
+  auto world = bench::make_world(flags);
+
+  for (const auto protocol : {core::ProbeProtocol::Http, core::ProbeProtocol::Tls}) {
+    const bool is_http = protocol == core::ProbeProtocol::Http;
+    const auto output = analysis::run_iw_scan(*world.network, *world.internet,
+                                              bench::scan_options(flags, protocol));
+    const auto vectors = per_as_vectors(output.records,
+                                        world.internet->registry());
+
+    std::vector<std::vector<double>> points;
+    points.reserve(vectors.size());
+    for (const auto& v : vectors) points.push_back(v.shares);
+
+    analysis::DbscanParams params;
+    params.epsilon = flags.real("epsilon");
+    params.min_points = static_cast<int>(flags.u64("min-points"));
+    const auto labels = analysis::dbscan(points, params);
+
+    std::printf("--- %s: %d clusters over %zu ASes ---\n",
+                is_http ? "HTTP" : "TLS", analysis::cluster_count(labels),
+                vectors.size());
+    analysis::TextTable table({"AS", "ASN", "kind", "IW1", "IW2", "IW4", "IW10",
+                               "other", "n", "cluster"});
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      const auto& v = vectors[i];
+      table.add_row({v.as->name, std::to_string(v.as->asn),
+                     std::string(model::to_string(v.as->kind)),
+                     analysis::fmt_double(v.shares[0] * 100),
+                     analysis::fmt_double(v.shares[1] * 100),
+                     analysis::fmt_double(v.shares[2] * 100),
+                     analysis::fmt_double(v.shares[3] * 100),
+                     analysis::fmt_double(v.shares[4] * 100),
+                     util::format_count(v.successes),
+                     labels[i] == analysis::kDbscanNoise
+                         ? "noise"
+                         : std::to_string(labels[i])});
+    }
+    bench::print_table(table, flags.boolean("csv"));
+
+    // Cluster summaries (the figure's left-hand side).
+    const int clusters = analysis::cluster_count(labels);
+    for (int c = 0; c < clusters; ++c) {
+      std::vector<double> centroid(5, 0.0);
+      std::uint64_t hosts = 0;
+      int members = 0;
+      for (std::size_t i = 0; i < vectors.size(); ++i) {
+        if (labels[i] != c) continue;
+        for (int d = 0; d < 5; ++d) centroid[d] += vectors[i].shares[d];
+        hosts += vectors[i].successes;
+        ++members;
+      }
+      for (auto& value : centroid) value /= members;
+      std::printf("cluster %d: %d ASes, %s hosts — IW1 %.0f%% IW2 %.0f%% IW4 "
+                  "%.0f%% IW10 %.0f%% other %.0f%%\n",
+                  c, members, util::format_count(hosts).c_str(),
+                  centroid[0] * 100, centroid[1] * 100, centroid[2] * 100,
+                  centroid[3] * 100, centroid[4] * 100);
+    }
+    std::printf("\n");
+  }
+  std::printf("(paper: 3 HTTP + 3 TLS clusters stand out — near-exclusive IW10\n"
+              " content clusters, IW2-heavy ISP/university clusters, and a mixed\n"
+              " IW4 cluster incl. an Akamai AS on TLS; GoDaddy's IW48 hosts are\n"
+              " <<1%% of all IPs and thus invisible in Fig. 3)\n");
+  return 0;
+}

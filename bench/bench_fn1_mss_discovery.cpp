@@ -1,0 +1,64 @@
+// Footnote 1 — ICMP path-MTU discovery scan (RFC 1191) estimating typical
+// supportable MSS values. The paper: "We found 99% (80%) of all hosts
+// support an MSS of 1336 B (1436 B)", motivating the TLS IW requirements.
+#include "bench_common.hpp"
+
+#include <map>
+
+#include "scanner/icmp_mtu.hpp"
+
+using namespace iwscan;
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  bench::define_common_flags(flags);
+  bench::parse_or_exit(flags, argc, argv);
+
+  bench::print_header("Footnote 1: ICMP path-MTU / MSS discovery", "footnote 1");
+  auto world = bench::make_world(flags);
+
+  std::vector<scan::MtuProbeResult> results;
+  scan::IcmpMtuModule module({}, [&](const scan::MtuProbeResult& result) {
+    if (result.responded) results.push_back(result);
+  });
+  scan::TargetGenerator targets(world.internet->registry().scan_space(), {},
+                                flags.u64("scan-seed"));
+  scan::EngineConfig engine_config;
+  engine_config.scanner_address = net::IPv4Address{192, 0, 2, 1};
+  engine_config.rate_pps = flags.real("rate");
+  engine_config.seed = flags.u64("scan-seed");
+  scan::ScanEngine engine(*world.network, engine_config, std::move(targets), module);
+  engine.start();
+  while (!engine.done() && world.loop.step()) {
+  }
+
+  std::map<std::uint32_t, std::uint64_t> mtu_histogram;
+  for (const auto& result : results) ++mtu_histogram[result.path_mtu];
+
+  std::printf("responding hosts: %s\n\n", util::format_count(results.size()).c_str());
+  analysis::TextTable table({"path MTU", "MSS", "hosts", "share"});
+  for (const auto& [mtu, hosts] : mtu_histogram) {
+    table.add_row({std::to_string(mtu), std::to_string(mtu - 40),
+                   util::format_count(hosts),
+                   util::format_percent(static_cast<double>(hosts) /
+                                        static_cast<double>(results.size()))});
+  }
+  bench::print_table(table, flags.boolean("csv"));
+
+  const auto share_at_least = [&](std::uint32_t mss) {
+    std::uint64_t count = 0;
+    for (const auto& result : results) {
+      if (result.supported_mss() >= mss) ++count;
+    }
+    return static_cast<double>(count) / static_cast<double>(results.size());
+  };
+  std::printf("\nP(MSS >= 1336) = %s   (paper: 99%%)\n",
+              util::format_percent(share_at_least(1336)).c_str());
+  std::printf("P(MSS >= 1436) = %s   (paper: 80%%)\n",
+              util::format_percent(share_at_least(1436)).c_str());
+  std::printf("\n(With a typical MSS of 1336 B, filling IW 10 needs 13.4 kB of\n"
+              " certificate data — far above typical chains; announcing MSS 64\n"
+              " instead needs only 640 B, which >86%% of chains supply. This is\n"
+              " why the small announced MSS is essential — Fig. 2.)\n");
+  return 0;
+}

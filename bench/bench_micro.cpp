@@ -1,0 +1,170 @@
+// Microbenchmarks (google-benchmark): the per-packet hot paths that bound
+// the scanner's achievable rate (§3.4) — codec round trips, checksums,
+// address-permutation iteration, event-loop throughput, and a single
+// estimator connection end-to-end.
+#include <benchmark/benchmark.h>
+
+#include "core/estimator.hpp"
+#include "httpd/http_server.hpp"
+#include "inetmodel/censys_certs.hpp"
+#include "netbase/checksum.hpp"
+#include "netbase/packet.hpp"
+#include "netsim/network.hpp"
+#include "scanner/permutation.hpp"
+#include "tcpstack/host.hpp"
+#include "tls/cert.hpp"
+#include "tls/handshake.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace iwscan;
+
+net::TcpSegment make_segment(std::size_t payload_size) {
+  net::TcpSegment segment;
+  segment.ip.src = net::IPv4Address{192, 0, 2, 1};
+  segment.ip.dst = net::IPv4Address{10, 1, 2, 3};
+  segment.tcp.src_port = 40000;
+  segment.tcp.dst_port = 80;
+  segment.tcp.seq = 12345;
+  segment.tcp.ack = 67890;
+  segment.tcp.flags = net::kAck | net::kPsh;
+  segment.tcp.window = 65535;
+  segment.tcp.options.push_back(net::MssOption{64});
+  segment.payload.assign(payload_size, 0x41);
+  return segment;
+}
+
+void BM_TcpSegmentEncode(benchmark::State& state) {
+  const auto segment = make_segment(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::encode(segment));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (40 + state.range(0)));
+}
+BENCHMARK(BM_TcpSegmentEncode)->Arg(0)->Arg(64)->Arg(536)->Arg(1460);
+
+void BM_TcpSegmentDecode(benchmark::State& state) {
+  const auto bytes = net::encode(make_segment(static_cast<std::size_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::decode_datagram(bytes));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_TcpSegmentDecode)->Arg(0)->Arg(64)->Arg(536)->Arg(1460);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)), 0x5a);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(64)->Arg(1500)->Arg(65536);
+
+void BM_PermutationNext(benchmark::State& state) {
+  scan::RandomPermutation permutation(static_cast<std::uint64_t>(state.range(0)), 7);
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(permutation.permute(index));
+    index = (index + 1) % permutation.domain_size();
+  }
+}
+BENCHMARK(BM_PermutationNext)->Arg(1 << 16)->Arg(1 << 24)->Arg(1u << 31);
+
+void BM_ClientHelloEncode(benchmark::State& state) {
+  tls::ClientHello hello;
+  const auto list = tls::probe_cipher_list();
+  hello.cipher_suites.assign(list.begin(), list.end());
+  hello.ocsp_stapling = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hello.encode());
+  }
+}
+BENCHMARK(BM_ClientHelloEncode);
+
+void BM_CertChainGenerate(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tls::make_chain(static_cast<std::size_t>(state.range(0)), "bench", 1));
+  }
+}
+BENCHMARK(BM_CertChainGenerate)->Arg(640)->Arg(2186)->Arg(16384);
+
+void BM_CertLengthSample(benchmark::State& state) {
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::CertChainDistribution::sample(rng));
+  }
+}
+BENCHMARK(BM_CertLengthSample);
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    int counter = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      loop.schedule(sim::usec(i), [&counter] { ++counter; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventLoopScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_EstimatorConnection(benchmark::State& state) {
+  // One complete Fig.-1 estimation against an IW10 host, end to end.
+  struct Services final : scan::SessionServices, sim::Endpoint {
+    sim::Network& network;
+    std::function<void(const net::Datagram&)> handler;
+    std::uint16_t port = 40000;
+    std::uint64_t seed = 5;
+    explicit Services(sim::Network& n) : network(n) {}
+    void handle_packet(const net::Bytes& bytes) override {
+      const auto d = net::decode_datagram(bytes);
+      if (d && handler) handler(*d);
+    }
+    void send_packet(net::Bytes bytes) override { network.send(std::move(bytes)); }
+    sim::EventLoop& loop() override { return network.loop(); }
+    net::IPv4Address scanner_address() const override {
+      return net::IPv4Address{192, 0, 2, 1};
+    }
+    std::uint16_t allocate_port() override { return port++; }
+    std::uint64_t session_seed() override { return seed += 12345; }
+  };
+
+  for (auto _ : state) {
+    sim::EventLoop loop;
+    sim::Network network(loop, 3);
+    tcp::StackConfig stack;
+    stack.iw = tcp::IwConfig::segments_of(10);
+    tcp::TcpHost host(network, net::IPv4Address{10, 0, 0, 1}, stack, 3);
+    http::WebConfig web;
+    web.page_size = 16'000;
+    host.listen(80, http::HttpServerApp::factory(web));
+    network.attach(net::IPv4Address{10, 0, 0, 1}, &host);
+
+    Services services(network);
+    network.attach(services.scanner_address(), &services);
+    bool done = false;
+    core::EstimatorConfig config;
+    core::IwEstimator estimator(
+        services, net::IPv4Address{10, 0, 0, 1}, 80, config,
+        net::to_bytes("GET / HTTP/1.1\r\nHost: 10.0.0.1\r\nConnection: close\r\n\r\n"),
+        [&](const core::ConnObservation&) { done = true; });
+    services.handler = [&](const net::Datagram& d) { estimator.on_datagram(d); };
+    estimator.start();
+    while (!done && loop.step()) {
+    }
+    benchmark::DoNotOptimize(done);
+  }
+}
+BENCHMARK(BM_EstimatorConnection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

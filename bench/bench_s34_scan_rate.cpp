@@ -1,0 +1,140 @@
+// §3.4 — scan efficiency: the multi-packet IW scan vs. an unmodified
+// single-exchange SYN port scan. The paper: at a budget of 150k
+// transmitted packets/s, a whole-IPv4 HTTP IW scan takes 7.5 h where the
+// stock port scan takes 6.8 h — full TCP conversations cost only ~10%
+// extra because the overwhelming majority of addresses never answer the
+// SYN, and only responders trigger the multi-packet exchange.
+//
+// ZMap's rate limit governs *transmitted packets*, so the whole-IPv4
+// projection here is packets-based: we measure packets-per-responder in
+// the simulation and combine it with the paper's real-world responder
+// density (48.3 M of ~3.7 B probed addresses ≈ 1.3%).
+#include "bench_common.hpp"
+
+#include "analysis/iw_table.hpp"
+#include "scanner/syn_scan.hpp"
+
+using namespace iwscan;
+
+namespace {
+
+struct SynOutcome {
+  std::uint64_t open = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t unresponsive = 0;
+  scan::EngineStats stats;
+  sim::SimTime duration{};
+};
+
+SynOutcome run_syn_scan(sim::Network& network, model::InternetModel& internet,
+                        const util::Flags& flags) {
+  SynOutcome outcome;
+  scan::SynScanConfig config;
+  config.port = 80;
+  scan::SynScanModule module(config, [&](const scan::SynScanResult& result) {
+    switch (result.state) {
+      case scan::PortState::Open: ++outcome.open; break;
+      case scan::PortState::Closed: ++outcome.closed; break;
+      case scan::PortState::Unresponsive: ++outcome.unresponsive; break;
+    }
+  });
+  scan::TargetGenerator targets(internet.registry().scan_space(), {},
+                                flags.u64("scan-seed"));
+  scan::EngineConfig engine_config;
+  engine_config.scanner_address = net::IPv4Address{192, 0, 2, 1};
+  engine_config.rate_pps = flags.real("rate");
+  engine_config.seed = flags.u64("scan-seed");
+  engine_config.max_outstanding = 2'000'000;
+
+  scan::ScanEngine engine(network, engine_config, std::move(targets), module);
+  const sim::SimTime started = network.loop().now();
+  engine.start();
+  while (!engine.done() && network.loop().step()) {
+  }
+  outcome.duration = network.loop().now() - started;
+  outcome.stats = engine.stats();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags;
+  bench::define_common_flags(flags);
+  flags.define_double("real-responder-share", 0.013,
+                      "responding-address share of the real IPv4 space "
+                      "(paper: 48.3M/3.7B)");
+  bench::parse_or_exit(flags, argc, argv);
+
+  bench::print_header("§3.4: IW scan vs. stock SYN scan efficiency", "Section 3.4");
+  auto world = bench::make_world(flags);
+
+  const auto syn = run_syn_scan(*world.network, *world.internet, flags);
+
+  // The whole-IPv4 sweep the paper times is a single estimation pass (the
+  // repeat probes rescan only the responsive sliver of the space).
+  analysis::ScanOptions iw_options =
+      bench::scan_options(flags, core::ProbeProtocol::Http);
+  iw_options.probe.probes_per_mss = 1;
+  iw_options.probe.mss_secondary = 0;
+  iw_options.max_outstanding = 2'000'000;
+  const auto iw = analysis::run_iw_scan(*world.network, *world.internet, iw_options);
+  const auto iw_summary = analysis::summarize(iw.records);
+
+  const double rate = flags.real("rate");
+  const double real_share = flags.real("real-responder-share");
+  const double addresses = 3.7e9;
+
+  // Simulated packets-per-responder beyond the universal 1 SYN/address.
+  const auto extra_per_responder = [&](std::uint64_t packets,
+                                       std::uint64_t targets,
+                                       std::uint64_t responders) {
+    return responders == 0 ? 0.0
+                           : (static_cast<double>(packets) -
+                              static_cast<double>(targets)) /
+                                 static_cast<double>(responders);
+  };
+  const double syn_extra = extra_per_responder(
+      syn.stats.packets_sent, syn.stats.targets_started, syn.open + syn.closed);
+  const double iw_extra = extra_per_responder(
+      iw.engine.packets_sent, iw.engine.targets_started, iw_summary.reachable);
+
+  const auto full_hours = [&](double extra) {
+    const double packets = addresses * (1.0 + real_share * extra);
+    return packets / rate / 3600.0;
+  };
+  const double syn_hours = full_hours(syn_extra);
+  const double iw_hours = full_hours(iw_extra);
+
+  analysis::TextTable table({"Scan", "targets", "packets tx", "tx/responder",
+                             "whole-IPv4 @rate", "paper"});
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f h", syn_hours);
+  table.add_row({"SYN port scan (stock ZMap)",
+                 util::format_count(syn.stats.targets_started),
+                 util::format_count(syn.stats.packets_sent),
+                 analysis::fmt_double(1.0 + syn_extra, 1), buf, "6.8 h"});
+  std::snprintf(buf, sizeof(buf), "%.1f h", iw_hours);
+  table.add_row({"HTTP IW scan (this work)",
+                 util::format_count(iw.engine.targets_started),
+                 util::format_count(iw.engine.packets_sent),
+                 analysis::fmt_double(1.0 + iw_extra, 1), buf, "7.5 h"});
+  bench::print_table(table, flags.boolean("csv"));
+
+  std::printf("\nIW/SYN duration ratio: %.2fx (paper: 7.5/6.8 = 1.10x)\n",
+              iw_hours / syn_hours);
+  std::printf("sim responder density: %s (real IPv4: ~1.3%%)\n",
+              util::format_percent(static_cast<double>(iw_summary.reachable) /
+                                   static_cast<double>(iw.engine.targets_started))
+                  .c_str());
+  std::printf("SYN scan: %s open, %s closed, %s unresponsive\n",
+              util::format_count(syn.open).c_str(),
+              util::format_count(syn.closed).c_str(),
+              util::format_count(syn.unresponsive).c_str());
+  std::printf("\nThe multi-packet design (per-connection state in the probe\n"
+              "module) costs ~%.0f extra packets per *responding* host, which\n"
+              "at real-world density is only ~%.0f%% more transmitted packets\n"
+              "than the single-packet port scan.\n",
+              iw_extra, (iw_hours / syn_hours - 1.0) * 100.0);
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "analysis/dbscan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace iwscan::analysis {
+namespace {
+
+double distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0.0;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+std::vector<std::size_t> neighbours(std::span<const std::vector<double>> points,
+                                    std::size_t index, double epsilon) {
+  std::vector<std::size_t> result;
+  for (std::size_t j = 0; j < points.size(); ++j) {
+    if (distance(points[index], points[j]) <= epsilon) result.push_back(j);
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<int> dbscan(std::span<const std::vector<double>> points,
+                        const DbscanParams& params) {
+  constexpr int kUnvisited = -2;
+  std::vector<int> labels(points.size(), kUnvisited);
+  int next_cluster = 0;
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (labels[i] != kUnvisited) continue;
+    auto seed_neighbours = neighbours(points, i, params.epsilon);
+    if (static_cast<int>(seed_neighbours.size()) < params.min_points) {
+      labels[i] = kDbscanNoise;
+      continue;
+    }
+    const int cluster = next_cluster++;
+    labels[i] = cluster;
+    std::deque<std::size_t> frontier(seed_neighbours.begin(), seed_neighbours.end());
+    while (!frontier.empty()) {
+      const std::size_t j = frontier.front();
+      frontier.pop_front();
+      if (labels[j] == kDbscanNoise) labels[j] = cluster;  // border point
+      if (labels[j] != kUnvisited) continue;
+      labels[j] = cluster;
+      auto j_neighbours = neighbours(points, j, params.epsilon);
+      if (static_cast<int>(j_neighbours.size()) >= params.min_points) {
+        frontier.insert(frontier.end(), j_neighbours.begin(), j_neighbours.end());
+      }
+    }
+  }
+  return labels;
+}
+
+int cluster_count(std::span<const int> labels) {
+  int max_label = -1;
+  for (const int label : labels) max_label = std::max(max_label, label);
+  return max_label + 1;
+}
+
+}  // namespace iwscan::analysis

@@ -1,0 +1,28 @@
+// DBSCAN density clustering (Ester et al. 1996), used as in §4.3 of the
+// paper: ASes are embedded as points of their IW-share vector
+// (IW1, IW2, IW4, IW10, other) and clustered to reveal per-service
+// deployment patterns (Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iwscan::analysis {
+
+inline constexpr int kDbscanNoise = -1;
+
+struct DbscanParams {
+  double epsilon = 0.15;  // neighbourhood radius (Euclidean)
+  int min_points = 3;     // density threshold (including the point itself)
+};
+
+/// Cluster `points` (all of equal dimension). Returns one label per point:
+/// 0..k-1 for clusters, kDbscanNoise for noise.
+[[nodiscard]] std::vector<int> dbscan(std::span<const std::vector<double>> points,
+                                      const DbscanParams& params);
+
+/// Number of clusters in a label vector (max label + 1).
+[[nodiscard]] int cluster_count(std::span<const int> labels);
+
+}  // namespace iwscan::analysis

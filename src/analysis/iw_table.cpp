@@ -1,0 +1,128 @@
+#include "analysis/iw_table.hpp"
+
+#include <cmath>
+
+namespace iwscan::analysis {
+
+DatasetSummary summarize(std::span<const core::HostScanRecord> records) {
+  DatasetSummary summary;
+  for (const auto& record : records) {
+    ++summary.probed;
+    if (record.outcome == core::HostOutcome::Unreachable) continue;
+    ++summary.reachable;
+    switch (record.outcome) {
+      case core::HostOutcome::Success: ++summary.success; break;
+      case core::HostOutcome::FewData: ++summary.few_data; break;
+      case core::HostOutcome::Error: ++summary.error; break;
+      case core::HostOutcome::Unreachable: break;
+    }
+  }
+  return summary;
+}
+
+std::map<std::uint32_t, std::uint64_t> iw_histogram(
+    std::span<const core::HostScanRecord> records) {
+  std::map<std::uint32_t, std::uint64_t> histogram;
+  for (const auto& record : records) {
+    if (record.outcome == core::HostOutcome::Success) {
+      ++histogram[record.iw_segments];
+    }
+  }
+  return histogram;
+}
+
+std::map<std::uint32_t, double> iw_fractions(
+    std::span<const core::HostScanRecord> records) {
+  const auto histogram = iw_histogram(records);
+  std::uint64_t total = 0;
+  for (const auto& [iw, count] : histogram) total += count;
+  std::map<std::uint32_t, double> fractions;
+  if (total == 0) return fractions;
+  for (const auto& [iw, count] : histogram) {
+    fractions[iw] = static_cast<double>(count) / static_cast<double>(total);
+  }
+  return fractions;
+}
+
+std::map<std::uint32_t, double> dominant_iws(
+    const std::map<std::uint32_t, double>& fractions, double min_fraction) {
+  std::map<std::uint32_t, double> dominant;
+  for (const auto& [iw, fraction] : fractions) {
+    if (fraction >= min_fraction) dominant.emplace(iw, fraction);
+  }
+  return dominant;
+}
+
+std::map<std::uint32_t, double> few_data_lower_bounds(
+    std::span<const core::HostScanRecord> records) {
+  std::map<std::uint32_t, std::uint64_t> counts;
+  std::uint64_t total = 0;
+  for (const auto& record : records) {
+    if (record.outcome != core::HostOutcome::FewData) continue;
+    ++counts[record.lower_bound];
+    ++total;
+  }
+  std::map<std::uint32_t, double> fractions;
+  if (total == 0) return fractions;
+  for (const auto& [bound, count] : counts) {
+    fractions[bound] = static_cast<double>(count) / static_cast<double>(total);
+  }
+  return fractions;
+}
+
+std::string records_to_csv(std::span<const core::HostScanRecord> records) {
+  std::string out =
+      "ip,outcome,iw_segments,iw_bytes,observed_mss,lower_bound,"
+      "iw_segments_alt_mss,fin_seen,reorder_seen,loss_suspected,probes,"
+      "connections\n";
+  for (const auto& record : records) {
+    out += record.ip.to_string();
+    out += ',';
+    out += to_string(record.outcome);
+    out += ',';
+    out += std::to_string(record.iw_segments);
+    out += ',';
+    out += std::to_string(record.iw_bytes);
+    out += ',';
+    out += std::to_string(record.observed_mss);
+    out += ',';
+    out += std::to_string(record.lower_bound);
+    out += ',';
+    out += std::to_string(record.iw_segments_b);
+    out += ',';
+    out += record.fin_seen ? '1' : '0';
+    out += ',';
+    out += record.reorder_seen ? '1' : '0';
+    out += ',';
+    out += record.loss_suspected ? '1' : '0';
+    out += ',';
+    out += std::to_string(record.probes_run);
+    out += ',';
+    out += std::to_string(record.connections_used);
+    out += '\n';
+  }
+  return out;
+}
+
+double l1_distance(const std::map<std::uint32_t, double>& a,
+                   const std::map<std::uint32_t, double>& b) {
+  double distance = 0.0;
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() || ib != b.end()) {
+    if (ib == b.end() || (ia != a.end() && ia->first < ib->first)) {
+      distance += std::abs(ia->second);
+      ++ia;
+    } else if (ia == a.end() || ib->first < ia->first) {
+      distance += std::abs(ib->second);
+      ++ib;
+    } else {
+      distance += std::abs(ia->second - ib->second);
+      ++ia;
+      ++ib;
+    }
+  }
+  return distance;
+}
+
+}  // namespace iwscan::analysis

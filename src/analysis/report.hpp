@@ -1,0 +1,35 @@
+// Scan report generation — the library analog of the weekly 1%-scan result
+// pages the authors publish (https://iw.comsys.rwth-aachen.de, §4.1/§5):
+// one self-contained text/markdown document summarizing a scan pair.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/iw_table.hpp"
+#include "analysis/service_classify.hpp"
+#include "inetmodel/as_registry.hpp"
+
+namespace iwscan::analysis {
+
+struct ReportOptions {
+  std::string title = "TCP Initial Window scan report";
+  double dominant_threshold = 0.001;  // Fig. 3 "≥0.1% of hosts" filter
+  bool markdown = false;              // tables as Markdown instead of text
+  bool include_per_service = true;
+  bool include_few_data = true;
+};
+
+struct ScanInputs {
+  std::span<const core::HostScanRecord> http;  // may be empty
+  std::span<const core::HostScanRecord> tls;   // may be empty
+  const model::AsRegistry* registry = nullptr;    // enables per-service section
+  ServiceClassifier::RdnsFn rdns;                 // optional, for access class
+  std::optional<double> sample_fraction;          // annotate sampled scans
+};
+
+/// Render a complete report.
+[[nodiscard]] std::string render_report(const ScanInputs& inputs,
+                                        const ReportOptions& options = {});
+
+}  // namespace iwscan::analysis

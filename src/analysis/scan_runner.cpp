@@ -1,0 +1,39 @@
+#include "analysis/scan_runner.hpp"
+
+namespace iwscan::analysis {
+
+ScanOutput run_iw_scan(sim::Network& network, model::InternetModel& internet,
+                       const ScanOptions& options) {
+  ScanOutput output;
+
+  core::IwScanConfig probe = options.probe;
+  probe.protocol = options.protocol;
+  probe.port = options.protocol == core::ProbeProtocol::Http ? 80 : 443;
+
+  const auto space = options.popular_space ? internet.registry().popular_space()
+                                           : internet.registry().scan_space();
+  scan::TargetGenerator targets(space, options.blocklist, options.scan_seed,
+                                options.sample_fraction);
+  output.address_space = targets.address_space_size();
+
+  core::IwProbeModule module(probe, [&output](const core::HostScanRecord& record) {
+    output.records.push_back(record);
+  });
+
+  scan::EngineConfig engine_config;
+  engine_config.scanner_address = net::IPv4Address{192, 0, 2, 1};
+  engine_config.rate_pps = options.rate_pps;
+  engine_config.max_outstanding = options.max_outstanding;
+  engine_config.seed = options.scan_seed;
+
+  scan::ScanEngine engine(network, engine_config, std::move(targets), module);
+  const sim::SimTime started = network.loop().now();
+  engine.start();
+  while (!engine.done() && network.loop().step()) {
+  }
+  output.duration = network.loop().now() - started;
+  output.engine = engine.stats();
+  return output;
+}
+
+}  // namespace iwscan::analysis

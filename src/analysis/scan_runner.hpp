@@ -1,0 +1,36 @@
+// End-to-end convenience API: run a full IW scan of the simulated Internet
+// and collect host records. This is the primary entry point a library user
+// touches (see examples/quickstart.cpp).
+#pragma once
+
+#include <vector>
+
+#include "core/host_prober.hpp"
+#include "inetmodel/internet.hpp"
+#include "scanner/scan_engine.hpp"
+
+namespace iwscan::analysis {
+
+struct ScanOptions {
+  core::ProbeProtocol protocol = core::ProbeProtocol::Http;
+  double rate_pps = 150'000;          // paper's moderate rate (§3.4)
+  double sample_fraction = 1.0;       // §4.1: 0.01 = the "1% is enough" mode
+  std::uint64_t scan_seed = 7;
+  std::size_t max_outstanding = 20'000;
+  bool popular_space = false;         // Alexa-style scan (Fig. 4)
+  std::vector<net::Cidr> blocklist;   // never probed (ZMap ethics model)
+  core::IwScanConfig probe;           // port is derived from protocol
+};
+
+struct ScanOutput {
+  std::vector<core::HostScanRecord> records;
+  scan::EngineStats engine;
+  sim::SimTime duration{};
+  std::uint64_t address_space = 0;  // size of the allowlist
+};
+
+/// Runs the scan to completion on the network's event loop.
+[[nodiscard]] ScanOutput run_iw_scan(sim::Network& network, model::InternetModel& internet,
+                                     const ScanOptions& options);
+
+}  // namespace iwscan::analysis

@@ -1,0 +1,80 @@
+#include "analysis/service_classify.hpp"
+
+#include <cstdio>
+
+#include "util/strings.hpp"
+
+namespace iwscan::analysis {
+
+std::string_view to_string(ServiceClass service) noexcept {
+  switch (service) {
+    case ServiceClass::Akamai: return "Akamai";
+    case ServiceClass::Ec2: return "EC2";
+    case ServiceClass::Cloudflare: return "Cloudflare";
+    case ServiceClass::Azure: return "Azure";
+    case ServiceClass::AccessNetwork: return "Access NW";
+    case ServiceClass::Other: return "Other";
+  }
+  return "?";
+}
+
+ServiceClassifier::ServiceClassifier(const model::AsRegistry& registry, RdnsFn rdns)
+    : registry_(registry), rdns_(std::move(rdns)) {
+  // Manually curated ISP domain labels (the paper's analog: a hand-built
+  // list of access-ISP domains) — these match the registry's access ASes.
+  for (const auto& as : registry_.all()) {
+    if (as.kind == model::AsKind::Access && !as.archetype.rdns_tag.empty()) {
+      isp_domains_.push_back(as.archetype.rdns_tag);
+    }
+  }
+  access_keywords_ = {"customer", "dialin", "dyn", "dsl", "pool",
+                      "cable",    "dial",   "pppoe", "dhcp"};
+}
+
+ServiceClass ServiceClassifier::classify(net::IPv4Address ip) const {
+  const model::AsInfo* as = registry_.find(ip);
+  if (as != nullptr) {
+    // Service-provider IP ranges (ip-ranges.json analogs). Akamai keys on
+    // the GHost server string in the paper; in the simulation the GHost
+    // hosts are exactly its tagged AS.
+    if (as->service_tag == "akamai") return ServiceClass::Akamai;
+    if (as->service_tag == "ec2") return ServiceClass::Ec2;
+    if (as->service_tag == "cloudflare") return ServiceClass::Cloudflare;
+    if (as->service_tag == "azure") return ServiceClass::Azure;
+  }
+
+  if (rdns_) {
+    const std::string name = rdns_(ip);
+    if (!name.empty() && rdns_encodes_ip(name, ip) && looks_like_access_name(name)) {
+      return ServiceClass::AccessNetwork;
+    }
+  }
+  return ServiceClass::Other;
+}
+
+bool ServiceClassifier::rdns_encodes_ip(std::string_view rdns, net::IPv4Address ip) {
+  // Try the common separators used by ISPs for embedding the IP.
+  for (const char separator : {'-', '.', '_'}) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%u%c%u%c%u%c%u", ip.octet(0), separator,
+                  ip.octet(1), separator, ip.octet(2), separator, ip.octet(3));
+    if (util::icontains(rdns, buf)) return true;
+    // Reversed order (in-addr style) is also common.
+    std::snprintf(buf, sizeof(buf), "%u%c%u%c%u%c%u", ip.octet(3), separator,
+                  ip.octet(2), separator, ip.octet(1), separator, ip.octet(0));
+    if (util::icontains(rdns, buf)) return true;
+  }
+  return false;
+}
+
+bool ServiceClassifier::looks_like_access_name(std::string_view rdns) const {
+  for (const auto& domain : isp_domains_) {
+    if (util::icontains(rdns, domain)) return true;
+  }
+  for (const auto& keyword : access_keywords_) {
+    if (util::icontains(rdns, keyword)) return true;
+  }
+  return false;
+}
+
+}  // namespace iwscan::analysis

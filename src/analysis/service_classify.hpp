@@ -1,0 +1,55 @@
+// Service / network-type classification of scanned IPs (§4.3, Table 3):
+//   * content services by published IP ranges (Amazon's ip-ranges.json,
+//     Cloudflare/Azure lists) — here: the registry's service-tagged ASes;
+//   * Akamai by its "GHost" HTTP Server header (same AS tag here);
+//   * access networks by reverse DNS: the IP encoded in the PTR record
+//     plus an ISP-domain/keyword list ("customer", "dialin", …), following
+//     the paper's HLOC-style classifier [23].
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "inetmodel/as_registry.hpp"
+#include "netbase/ipv4.hpp"
+
+namespace iwscan::analysis {
+
+enum class ServiceClass {
+  Akamai,
+  Ec2,
+  Cloudflare,
+  Azure,
+  AccessNetwork,
+  Other,
+};
+
+[[nodiscard]] std::string_view to_string(ServiceClass service) noexcept;
+
+class ServiceClassifier {
+ public:
+  /// `rdns` resolves an address to its PTR record ("" if none) — in the
+  /// simulation this is the ground-truth generator; against the real
+  /// Internet it would be a DNS lookup.
+  using RdnsFn = std::function<std::string(net::IPv4Address)>;
+
+  ServiceClassifier(const model::AsRegistry& registry, RdnsFn rdns);
+
+  [[nodiscard]] ServiceClass classify(net::IPv4Address ip) const;
+
+  /// True if the PTR record encodes the IP (any common textual layout).
+  [[nodiscard]] static bool rdns_encodes_ip(std::string_view rdns,
+                                            net::IPv4Address ip);
+  /// True if the name matches the ISP-domain or access keyword lists.
+  [[nodiscard]] bool looks_like_access_name(std::string_view rdns) const;
+
+ private:
+  const model::AsRegistry& registry_;
+  RdnsFn rdns_;
+  std::vector<std::string> isp_domains_;
+  std::vector<std::string> access_keywords_;
+};
+
+}  // namespace iwscan::analysis

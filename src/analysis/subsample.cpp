@@ -1,0 +1,77 @@
+#include "analysis/subsample.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/iw_table.hpp"
+
+namespace iwscan::analysis {
+
+std::vector<core::HostScanRecord> subsample(
+    std::span<const core::HostScanRecord> records, double fraction,
+    std::uint64_t seed) {
+  std::vector<core::HostScanRecord> sample;
+  if (fraction >= 1.0) {
+    sample.assign(records.begin(), records.end());
+    return sample;
+  }
+  sample.reserve(static_cast<std::size_t>(static_cast<double>(records.size()) *
+                                          fraction * 1.1) + 16);
+  for (const auto& record : records) {
+    const double coin =
+        static_cast<double>(util::mix64(seed, record.ip.value()) >> 11) * 0x1.0p-53;
+    if (coin < fraction) sample.push_back(record);
+  }
+  return sample;
+}
+
+SubsampleBand subsample_band(std::span<const core::HostScanRecord> records,
+                             double fraction, int trials, double coverage,
+                             std::uint64_t seed,
+                             const std::map<std::uint32_t, double>& reference) {
+  SubsampleBand band;
+  if (trials <= 0) return band;
+
+  // Collect the union of IW values so every trial contributes 0s for
+  // missing values (essential for honest quantiles of rare IWs).
+  std::set<std::uint32_t> keys;
+  for (const auto& [iw, fraction_value] : reference) keys.insert(iw);
+
+  std::vector<std::map<std::uint32_t, double>> trials_fractions;
+  trials_fractions.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const auto sample = subsample(records, fraction, util::mix64(seed, 1000 + t));
+    auto fractions = iw_fractions(sample);
+    band.max_l1_to_reference =
+        std::max(band.max_l1_to_reference, l1_distance(fractions, reference));
+    for (const auto& [iw, f] : fractions) keys.insert(iw);
+    trials_fractions.push_back(std::move(fractions));
+  }
+
+  const double tail = (1.0 - coverage) / 2.0;
+  for (const std::uint32_t iw : keys) {
+    std::vector<double> values;
+    values.reserve(trials_fractions.size());
+    double sum = 0.0;
+    for (const auto& fractions : trials_fractions) {
+      const auto it = fractions.find(iw);
+      const double v = it == fractions.end() ? 0.0 : it->second;
+      values.push_back(v);
+      sum += v;
+    }
+    std::sort(values.begin(), values.end());
+    const auto at_quantile = [&](double q) {
+      const double pos = q * static_cast<double>(values.size() - 1);
+      const std::size_t lo = static_cast<std::size_t>(pos);
+      const std::size_t hi = std::min(lo + 1, values.size() - 1);
+      const double t = pos - static_cast<double>(lo);
+      return values[lo] * (1.0 - t) + values[hi] * t;
+    };
+    band.mean[iw] = sum / static_cast<double>(values.size());
+    band.quantile_lo[iw] = at_quantile(tail);
+    band.quantile_hi[iw] = at_quantile(1.0 - tail);
+  }
+  return band;
+}
+
+}  // namespace iwscan::analysis

@@ -1,0 +1,35 @@
+// Random subsampling of scan results (§4.1 "Scanning 1% is enough!"):
+// draw p-fraction subsets, compare their IW distributions against the full
+// scan, and compute mean ± quantile bands over repeated 1% samples.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/result.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::analysis {
+
+/// A deterministic p-fraction subset of records.
+[[nodiscard]] std::vector<core::HostScanRecord> subsample(
+    std::span<const core::HostScanRecord> records, double fraction,
+    std::uint64_t seed);
+
+struct SubsampleBand {
+  std::map<std::uint32_t, double> mean;        // IW → mean fraction
+  std::map<std::uint32_t, double> quantile_lo; // (1−q)/2
+  std::map<std::uint32_t, double> quantile_hi; // 1−(1−q)/2
+  double max_l1_to_reference = 0.0;
+};
+
+/// Repeat `trials` independent p-fraction samples; report the mean IW
+/// fractions and the two-sided `coverage`-quantile band (paper: 30 × 1%
+/// samples with the 99% quantile).
+[[nodiscard]] SubsampleBand subsample_band(
+    std::span<const core::HostScanRecord> records, double fraction, int trials,
+    double coverage, std::uint64_t seed,
+    const std::map<std::uint32_t, double>& reference);
+
+}  // namespace iwscan::analysis

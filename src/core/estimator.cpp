@@ -1,0 +1,292 @@
+#include "core/estimator.hpp"
+
+#include <algorithm>
+
+#include "netbase/tcp_options.hpp"
+#include "tcpstack/seq.hpp"
+
+namespace iwscan::core {
+
+IwEstimator::IwEstimator(scan::SessionServices& services, net::IPv4Address target,
+                         std::uint16_t target_port, EstimatorConfig config,
+                         net::Bytes request, DoneFn done)
+    : services_(services),
+      target_(target),
+      target_port_(target_port),
+      config_(config),
+      request_(std::move(request)),
+      done_(std::move(done)) {}
+
+IwEstimator::~IwEstimator() { services_.loop().cancel(timer_); }
+
+void IwEstimator::start() {
+  local_port_ = services_.allocate_port();
+  isn_ = static_cast<std::uint32_t>(services_.session_seed());
+  phase_ = Phase::SynSent;
+  // SYN announcing the small MSS and a large window; SACK deliberately
+  // absent (§3.1 — suppresses tail loss probes).
+  send_segment(isn_, 0, net::kSyn, config_.window, {}, /*with_mss_option=*/true);
+  arm_timer(config_.syn_timeout, &IwEstimator::on_syn_timeout);
+}
+
+void IwEstimator::on_datagram(const net::Datagram& datagram) {
+  if (phase_ == Phase::Done || phase_ == Phase::Idle) return;
+  const auto* segment = std::get_if<net::TcpSegment>(&datagram);
+  if (segment == nullptr) return;
+  if (segment->tcp.dst_port != local_port_ || segment->tcp.src_port != target_port_) {
+    return;  // belongs to another connection of this host session
+  }
+
+  if (segment->tcp.has(net::kRst)) {
+    conclude(phase_ == Phase::SynSent ? ConnOutcome::Refused : ConnOutcome::Error);
+    return;
+  }
+
+  switch (phase_) {
+    case Phase::SynSent:
+      if (segment->tcp.has(net::kSyn) && segment->tcp.has(net::kAck) &&
+          segment->tcp.ack == isn_ + 1) {
+        on_syn_ack(*segment);
+      }
+      break;
+    case Phase::Collect:
+      if (segment->tcp.has(net::kSyn) && segment->tcp.has(net::kAck) &&
+          segment->tcp.seq == irs_) {
+        // Retransmitted SYN/ACK: our handshake-ACK+request was lost on the
+        // way out. Resend it, or the probe would idle into a false NoData.
+        send_segment(isn_ + 1, data_base_, net::kAck | net::kPsh, config_.window,
+                     request_, /*with_mss_option=*/false);
+        break;
+      }
+      on_collect_data(*segment);
+      break;
+    case Phase::Verify:
+      on_verify_data(*segment);
+      break;
+    default:
+      break;
+  }
+}
+
+void IwEstimator::on_syn_ack(const net::TcpSegment& segment) {
+  irs_ = segment.tcp.seq;
+  data_base_ = irs_ + 1;
+  phase_ = Phase::Collect;
+  // Handshake ACK and the request ride in one segment (Fig. 1).
+  send_segment(isn_ + 1, data_base_, net::kAck | net::kPsh, config_.window, request_,
+               /*with_mss_option=*/false);
+  arm_timer(config_.collect_timeout, &IwEstimator::on_collect_timeout);
+}
+
+void IwEstimator::on_collect_data(const net::TcpSegment& segment) {
+  const bool has_fin = segment.tcp.has(net::kFin);
+  if (segment.payload.empty() && !has_fin) return;  // bare ACK of our request
+
+  if (!segment.payload.empty()) {
+    const std::uint64_t start = tcp::seq_diff(segment.tcp.seq, data_base_);
+    // Sequences "before" the first data byte would wrap to huge offsets;
+    // treat anything implausibly far out as noise.
+    if (start > (std::uint64_t{1} << 31)) return;
+    const std::uint64_t end = start + segment.payload.size();
+
+    if (covered(start, end)) {
+      if (start == 0) {
+        // The sender's RTO retransmission of its first segment: the IW
+        // burst is complete. Move to verification.
+        enter_verify();
+        return;
+      }
+      return;  // duplicate of a later segment; ignore
+    }
+    record_range(start, end, segment.payload);
+  }
+
+  if (has_fin) {
+    observation_.fin_seen = true;
+    const std::uint64_t fin_at =
+        tcp::seq_diff(segment.tcp.seq, data_base_) + segment.payload.size();
+    // Response is complete once everything up to the FIN arrived; under
+    // reordering a hole may still be in flight — the collect timer covers
+    // the case where it never arrives.
+    if (contiguous_from_zero(fin_at)) {
+      conclude(max_end_ == 0 ? ConnOutcome::NoData : ConnOutcome::FewData);
+    }
+  }
+}
+
+void IwEstimator::on_verify_data(const net::TcpSegment& segment) {
+  if (!segment.payload.empty()) {
+    const std::uint64_t start = tcp::seq_diff(segment.tcp.seq, data_base_);
+    if (start <= (std::uint64_t{1} << 31)) {
+      const std::uint64_t end = start + segment.payload.size();
+      if (!covered(start, end)) {
+        // Fresh data released by our ACK: the sender had more queued and
+        // was therefore genuinely limited by its IW.
+        observation_.verify_new_data = true;
+        conclude(ConnOutcome::Success);
+        return;
+      }
+    }
+  }
+  if (segment.tcp.has(net::kFin)) {
+    observation_.fin_seen = true;
+    conclude(max_end_ == 0 ? ConnOutcome::NoData : ConnOutcome::FewData);
+  }
+}
+
+void IwEstimator::record_range(std::uint64_t start, std::uint64_t end,
+                               std::span<const std::uint8_t> payload) {
+  ++observation_.segments;
+  observation_.max_segment = std::max(observation_.max_segment,
+                                      static_cast<std::uint16_t>(payload.size()));
+  if (start < max_end_) {
+    observation_.reorder_seen = true;  // fills (part of) an earlier gap
+  }
+
+  // Keep payload for in-order prefix reassembly (HTTP status/Location).
+  if (prefix_bytes_stored_ < config_.prefix_cap && !chunks_.contains(start)) {
+    chunks_.emplace(start, net::Bytes(payload.begin(), payload.end()));
+    prefix_bytes_stored_ += payload.size();
+  }
+
+  // Insert [start,end) into the coalesced range map.
+  auto it = ranges_.upper_bound(start);
+  if (it != ranges_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = ranges_.erase(prev);
+    }
+  }
+  while (it != ranges_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = ranges_.erase(it);
+  }
+  ranges_.emplace(start, end);
+  max_end_ = std::max(max_end_, end);
+}
+
+bool IwEstimator::covered(std::uint64_t start, std::uint64_t end) const noexcept {
+  const auto it = ranges_.upper_bound(start);
+  if (it == ranges_.begin()) return false;
+  const auto& [range_start, range_end] = *std::prev(it);
+  return range_start <= start && end <= range_end;
+}
+
+bool IwEstimator::contiguous_from_zero(std::uint64_t upto) const noexcept {
+  if (upto == 0) return true;
+  const auto it = ranges_.find(0);
+  return it != ranges_.end() && it->second >= upto;
+}
+
+void IwEstimator::enter_verify() {
+  phase_ = Phase::Verify;
+  observation_.loss_holes = ranges_.size() > 1;  // holes inside the burst
+  // Acknowledge everything received, advertising a window of just
+  // 2·MSS: enough to see whether more data exists without being flooded.
+  const std::uint32_t ack = data_base_ + static_cast<std::uint32_t>(max_end_);
+  const auto verify_window = static_cast<std::uint16_t>(
+      config_.verify_window_segments * config_.announced_mss);
+  send_segment(isn_ + 1 + static_cast<std::uint32_t>(request_.size()), ack, net::kAck,
+               verify_window, {}, /*with_mss_option=*/false);
+  arm_timer(config_.verify_timeout, &IwEstimator::on_verify_timeout);
+}
+
+void IwEstimator::conclude(ConnOutcome outcome) {
+  if (phase_ == Phase::Done) return;
+  const bool had_connection = phase_ != Phase::SynSent || outcome == ConnOutcome::Refused;
+  phase_ = Phase::Done;
+  services_.loop().cancel(timer_);
+  timer_ = sim::kNullEvent;
+
+  // Tear the server connection down; the scan never closes gracefully.
+  if (had_connection && outcome != ConnOutcome::Refused &&
+      outcome != ConnOutcome::Unreachable) {
+    send_segment(isn_ + 1 + static_cast<std::uint32_t>(request_.size()),
+                 data_base_ + static_cast<std::uint32_t>(max_end_),
+                 net::kRst | net::kAck, 0, {}, false);
+  }
+
+  observation_.outcome = outcome;
+  observation_.span_bytes = max_end_;
+  if (observation_.max_segment > 0) {
+    // §3.1: "monitor the actually used segment size and use the observed
+    // maximum for our IW estimation" — robust against OS MSS clamping.
+    observation_.iw_estimate = static_cast<std::uint32_t>(
+        (max_end_ + observation_.max_segment - 1) / observation_.max_segment);
+  }
+  if (outcome == ConnOutcome::NoData) {
+    observation_.iw_estimate = 0;
+  }
+
+  // Reassemble the in-order prefix for application-layer analysis.
+  observation_.prefix.clear();
+  std::uint64_t expect = 0;
+  for (const auto& [start, bytes] : chunks_) {
+    if (start > expect) break;  // hole
+    const std::uint64_t skip = expect - start;
+    if (skip < bytes.size()) {
+      observation_.prefix.insert(observation_.prefix.end(),
+                                 bytes.begin() + static_cast<std::ptrdiff_t>(skip),
+                                 bytes.end());
+      expect = start + bytes.size();
+    }
+  }
+
+  done_(observation_);
+}
+
+void IwEstimator::send_segment(std::uint32_t seq, std::uint32_t ack, std::uint8_t flags,
+                               std::uint16_t window,
+                               std::span<const std::uint8_t> payload,
+                               bool with_mss_option) {
+  net::TcpSegment segment;
+  segment.ip.src = services_.scanner_address();
+  segment.ip.dst = target_;
+  segment.ip.ttl = 64;
+  segment.ip.dont_fragment = true;
+  segment.tcp.src_port = local_port_;
+  segment.tcp.dst_port = target_port_;
+  segment.tcp.seq = seq;
+  segment.tcp.ack = ack;
+  segment.tcp.flags = flags;
+  segment.tcp.window = window;
+  if (with_mss_option) {
+    segment.tcp.options.push_back(net::MssOption{config_.announced_mss});
+  }
+  segment.payload.assign(payload.begin(), payload.end());
+  services_.send_packet(net::encode(segment));
+}
+
+void IwEstimator::arm_timer(sim::SimTime delay, void (IwEstimator::*handler)()) {
+  services_.loop().cancel(timer_);
+  timer_ = services_.loop().schedule(delay, [this, handler] {
+    timer_ = sim::kNullEvent;
+    (this->*handler)();
+  });
+}
+
+void IwEstimator::on_syn_timeout() { conclude(ConnOutcome::Unreachable); }
+
+void IwEstimator::on_collect_timeout() {
+  if (observation_.fin_seen) {
+    // FIN arrived but a hole never filled: tail of the response lost.
+    observation_.loss_holes = ranges_.size() != 1 || !ranges_.contains(0);
+    conclude(max_end_ == 0 ? ConnOutcome::NoData : ConnOutcome::FewData);
+  } else if (max_end_ == 0) {
+    conclude(ConnOutcome::NoData);
+  } else {
+    // Data flowed but no retransmission was ever seen — all retransmits
+    // lost, or a middlebox interfered. No trustworthy estimate.
+    conclude(ConnOutcome::Error);
+  }
+}
+
+void IwEstimator::on_verify_timeout() {
+  // No new data after the ACK release: the sender was out of data, so the
+  // IW may not have been filled (lower bound only).
+  conclude(max_end_ == 0 ? ConnOutcome::NoData : ConnOutcome::FewData);
+}
+
+}  // namespace iwscan::core

@@ -1,0 +1,103 @@
+// The initial-window estimator: one TCP connection implementing Figure 1 of
+// the paper.
+//
+//   1. SYN with a small announced MSS and a large receive window (so the
+//      sender is limited only by its IW, never by flow control).
+//   2. ACK + request in one segment, triggering a response.
+//   3. Collect data *without acknowledging*, tracking sequence ranges to
+//      detect reordering and loss; a segment whose range was already fully
+//      received at the start of the stream is the sender's RTO
+//      retransmission → the IW burst is complete.
+//   4. Verification: acknowledge everything with a window of only
+//      2·MSS. New data ⇒ the sender was IW-limited (Success). A FIN or
+//      silence ⇒ the sender simply ran out of data (FewData): only a lower
+//      bound on the IW is known.
+//
+// SACK is deliberately never offered, which disables tail-loss probes that
+// would otherwise skew the estimate (§3.1).
+#pragma once
+
+#include <functional>
+#include <map>
+
+#include "core/result.hpp"
+#include "netsim/event_loop.hpp"
+#include "scanner/scan_engine.hpp"
+
+namespace iwscan::core {
+
+struct EstimatorConfig {
+  std::uint16_t announced_mss = 64;
+  std::uint16_t window = 65535;              // large handshake receive window
+  std::uint16_t verify_window_segments = 2;  // §3.1: "only two segments"
+  sim::SimTime syn_timeout = sim::sec(3);
+  sim::SimTime collect_timeout = sim::sec(12);
+  sim::SimTime verify_timeout = sim::sec(3);
+  std::size_t prefix_cap = 16 * 1024;  // in-order payload kept for analysis
+};
+
+class IwEstimator {
+ public:
+  /// `done` fires exactly once; it may tear the estimator down only
+  /// indirectly (schedule, don't destroy — the estimator is still on the
+  /// call stack).
+  using DoneFn = std::function<void(const ConnObservation&)>;
+
+  IwEstimator(scan::SessionServices& services, net::IPv4Address target,
+              std::uint16_t target_port, EstimatorConfig config, net::Bytes request,
+              DoneFn done);
+  ~IwEstimator();
+
+  IwEstimator(const IwEstimator&) = delete;
+  IwEstimator& operator=(const IwEstimator&) = delete;
+
+  void start();
+  void on_datagram(const net::Datagram& datagram);
+
+  [[nodiscard]] bool finished() const noexcept { return phase_ == Phase::Done; }
+  [[nodiscard]] std::uint16_t local_port() const noexcept { return local_port_; }
+
+ private:
+  enum class Phase { Idle, SynSent, Collect, Verify, Done };
+
+  void on_syn_ack(const net::TcpSegment& segment);
+  void on_collect_data(const net::TcpSegment& segment);
+  void on_verify_data(const net::TcpSegment& segment);
+  void record_range(std::uint64_t start, std::uint64_t end,
+                    std::span<const std::uint8_t> payload);
+  [[nodiscard]] bool covered(std::uint64_t start, std::uint64_t end) const noexcept;
+  [[nodiscard]] bool contiguous_from_zero(std::uint64_t upto) const noexcept;
+  void enter_verify();
+  void conclude(ConnOutcome outcome);
+  void send_segment(std::uint32_t seq, std::uint32_t ack, std::uint8_t flags,
+                    std::uint16_t window, std::span<const std::uint8_t> payload,
+                    bool with_mss_option);
+  void arm_timer(sim::SimTime delay, void (IwEstimator::*handler)());
+  void on_syn_timeout();
+  void on_collect_timeout();
+  void on_verify_timeout();
+
+  scan::SessionServices& services_;
+  net::IPv4Address target_;
+  std::uint16_t target_port_;
+  EstimatorConfig config_;
+  net::Bytes request_;
+  DoneFn done_;
+
+  Phase phase_ = Phase::Idle;
+  std::uint16_t local_port_ = 0;
+  std::uint32_t isn_ = 0;       // our initial sequence number
+  std::uint32_t irs_ = 0;       // server initial sequence number
+  std::uint32_t data_base_ = 0; // irs_ + 1: sequence of the first data byte
+
+  // Received sequence ranges relative to data_base_, coalesced.
+  std::map<std::uint64_t, std::uint64_t> ranges_;  // start → end (exclusive)
+  std::map<std::uint64_t, net::Bytes> chunks_;     // for prefix reassembly
+  std::uint64_t max_end_ = 0;
+  std::uint64_t prefix_bytes_stored_ = 0;
+
+  ConnObservation observation_;
+  sim::EventId timer_ = sim::kNullEvent;
+};
+
+}  // namespace iwscan::core

@@ -1,0 +1,245 @@
+#include "core/host_prober.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace iwscan::core {
+
+HostProber::HostProber(scan::SessionServices& services, net::IPv4Address target,
+                       const IwScanConfig& config, RecordFn on_record,
+                       std::function<void()> finish)
+    : services_(services),
+      target_(target),
+      config_(config),
+      on_record_(std::move(on_record)),
+      finish_(std::move(finish)) {}
+
+HostProber::~HostProber() { services_.loop().cancel(continuation_); }
+
+void HostProber::start() { begin_probe(); }
+
+void HostProber::on_datagram(const net::Datagram& datagram) {
+  if (finished_ || !estimator_) return;
+  estimator_->on_datagram(datagram);
+}
+
+std::unique_ptr<ProbeStrategy> HostProber::make_strategy() {
+  if (config_.protocol == ProbeProtocol::Http) {
+    if (!config_.curated_host.empty()) {
+      return make_url_list_strategy(config_.curated_host, config_.curated_path);
+    }
+    return make_http_strategy(target_, config_.http);
+  }
+  TlsStrategyConfig tls;
+  tls.offer_ocsp_stapling = config_.tls_offer_ocsp;
+  tls.seed = services_.session_seed();
+  return make_tls_strategy(tls);
+}
+
+void HostProber::begin_probe() {
+  strategy_ = make_strategy();
+  current_probe_ = ProbeResult{};
+  current_probe_has_conn_ = false;
+  begin_connection();
+}
+
+void HostProber::begin_connection() {
+  EstimatorConfig estimator_config = config_.estimator;
+  estimator_config.announced_mss = current_mss();
+
+  // Retire (don't destroy) the previous estimator: conclusion callbacks may
+  // still be on the stack below us.
+  if (estimator_) old_estimators_.push_back(std::move(estimator_));
+
+  estimator_ = std::make_unique<IwEstimator>(
+      services_, target_, config_.port, estimator_config, strategy_->request(),
+      [this](const ConnObservation& observation) { on_connection_done(observation); });
+  ++connections_used_;
+  estimator_->start();
+}
+
+void HostProber::on_connection_done(const ConnObservation& observation) {
+  if (finished_) return;
+
+  // A dead port / dead host on the very first contact: the host is not
+  // reachable at all and is excluded from the scan denominators (Table 1
+  // counts only hosts where "data exchange is possible").
+  if (first_connection_ && (observation.outcome == ConnOutcome::Unreachable ||
+                            observation.outcome == ConnOutcome::Refused)) {
+    HostScanRecord record;
+    record.ip = target_;
+    record.outcome = HostOutcome::Unreachable;
+    record.probes_run = 1;
+    record.connections_used = connections_used_;
+    finished_ = true;
+    if (on_record_) on_record_(record);
+    finish_();
+    return;
+  }
+  first_connection_ = false;
+
+  // Merge this connection into the probe result: Success dominates; among
+  // non-success connections keep the largest lower bound.
+  const auto better = [](ConnOutcome a, ConnOutcome b) {
+    const auto rank = [](ConnOutcome o) {
+      switch (o) {
+        case ConnOutcome::Success: return 5;
+        case ConnOutcome::FewData: return 4;
+        case ConnOutcome::NoData: return 3;
+        case ConnOutcome::Error: return 2;
+        case ConnOutcome::Refused: return 1;
+        case ConnOutcome::Unreachable: return 0;
+      }
+      return 0;
+    };
+    return rank(a) > rank(b);
+  };
+
+  const bool take = !current_probe_has_conn_ ||
+                    better(observation.outcome, current_probe_.outcome) ||
+                    (observation.outcome == current_probe_.outcome &&
+                     observation.iw_estimate > current_probe_.iw_estimate);
+  if (take) {
+    current_probe_.outcome = observation.outcome;
+    current_probe_.iw_estimate = observation.iw_estimate;
+    current_probe_.span_bytes = observation.span_bytes;
+    current_probe_.max_segment = observation.max_segment;
+    current_probe_.lower_bound =
+        observation.outcome == ConnOutcome::FewData ? observation.iw_estimate : 0;
+  }
+  current_probe_.fin_seen |= observation.fin_seen;
+  current_probe_.reorder_seen |= observation.reorder_seen;
+  current_probe_.loss_holes |= observation.loss_holes;
+  current_probe_has_conn_ = true;
+
+  const bool followup = strategy_->wants_followup(observation);
+  services_.loop().cancel(continuation_);
+  continuation_ = services_.loop().schedule(config_.inter_connection_delay, [this, followup] {
+    continuation_ = sim::kNullEvent;
+    if (followup) {
+      begin_connection();
+    } else {
+      finish_probe();
+    }
+  });
+}
+
+void HostProber::finish_probe() {
+  pass_probes_[pass_].push_back(current_probe_);
+  old_estimators_.clear();
+
+  ++probe_;
+  if (probe_ < config_.probes_per_mss) {
+    begin_probe();
+    return;
+  }
+  // Pass complete; move to the secondary MSS or finish.
+  probe_ = 0;
+  if (pass_ == 0 && config_.mss_secondary != 0) {
+    pass_ = 1;
+    begin_probe();
+    return;
+  }
+  finish_host();
+}
+
+HostProber::PassResult HostProber::aggregate_pass(
+    const std::vector<ProbeResult>& probes) const {
+  PassResult pass;
+  for (const auto& probe : probes) {
+    pass.fin_seen |= probe.fin_seen;
+    pass.reorder_seen |= probe.reorder_seen;
+    pass.loss_suspected |= probe.loss_holes;
+  }
+
+  // Success rule (§4): ≥2 of 3 probes agree and the agreed value is the
+  // maximum of all successful probes (tail loss only ever lowers values).
+  std::map<std::uint32_t, int> votes;
+  std::uint32_t max_estimate = 0;
+  for (const auto& probe : probes) {
+    if (probe.outcome == ConnOutcome::Success) {
+      ++votes[probe.iw_estimate];
+      max_estimate = std::max(max_estimate, probe.iw_estimate);
+    }
+  }
+  const int needed = std::min<int>(2, static_cast<int>(probes.size()));
+  if (const auto it = votes.find(max_estimate);
+      max_estimate != 0 && it != votes.end() && it->second >= needed) {
+    pass.outcome = HostOutcome::Success;
+    pass.iw_segments = max_estimate;
+    for (const auto& probe : probes) {
+      if (probe.outcome == ConnOutcome::Success && probe.iw_estimate == max_estimate) {
+        pass.iw_bytes = probe.span_bytes;
+        pass.observed_mss = probe.max_segment;
+        break;
+      }
+    }
+    return pass;
+  }
+  if (!votes.empty()) {
+    // Successes exist but disagree on the maximum: unstable estimate.
+    pass.outcome = HostOutcome::Error;
+    return pass;
+  }
+
+  bool any_data = false;
+  bool any_reply = false;
+  for (const auto& probe : probes) {
+    if (probe.outcome == ConnOutcome::FewData) {
+      any_data = true;
+      pass.lower_bound = std::max(pass.lower_bound, probe.lower_bound);
+      for (const auto& p2 : probes) {
+        pass.observed_mss = std::max(pass.observed_mss, p2.max_segment);
+      }
+    }
+    if (probe.outcome == ConnOutcome::NoData) any_reply = true;
+  }
+  if (any_data) {
+    pass.outcome = HostOutcome::FewData;
+  } else if (any_reply) {
+    pass.outcome = HostOutcome::FewData;  // lower_bound 0 == Table 2 "NoData"
+    pass.lower_bound = 0;
+  } else {
+    pass.outcome = HostOutcome::Error;
+  }
+  return pass;
+}
+
+void HostProber::finish_host() {
+  const PassResult primary = aggregate_pass(pass_probes_[0]);
+  HostScanRecord record;
+  record.ip = target_;
+  record.outcome = primary.outcome;
+  record.iw_segments = primary.iw_segments;
+  record.iw_bytes = primary.iw_bytes;
+  record.observed_mss = primary.observed_mss;
+  record.lower_bound = primary.lower_bound;
+  record.fin_seen = primary.fin_seen;
+  record.reorder_seen = primary.reorder_seen;
+  record.loss_suspected = primary.loss_suspected;
+  record.probes_run = static_cast<std::uint8_t>(pass_probes_[0].size() +
+                                                pass_probes_[1].size());
+  record.connections_used = connections_used_;
+
+  if (!pass_probes_[1].empty()) {
+    const PassResult secondary = aggregate_pass(pass_probes_[1]);
+    if (secondary.outcome == HostOutcome::Success) {
+      record.iw_segments_b = secondary.iw_segments;
+      record.iw_bytes_b = secondary.iw_bytes;
+      record.observed_mss_b = secondary.observed_mss;
+    }
+  }
+
+  finished_ = true;
+  if (on_record_) on_record_(record);
+  finish_();
+}
+
+std::unique_ptr<scan::ProbeSession> IwProbeModule::create_session(
+    scan::SessionServices& services, net::IPv4Address target,
+    std::function<void()> finish) {
+  return std::make_unique<HostProber>(services, target, config_, on_record_,
+                                      std::move(finish));
+}
+
+}  // namespace iwscan::core

@@ -1,0 +1,128 @@
+// Per-host probe orchestration (§4 "Scan setup"):
+//
+//   * each host is probed three times per announced MSS, to detect tail
+//     loss: the host counts as Success only if at least two probes agree
+//     AND the agreed value is the maximum of all probes;
+//   * the whole sequence runs twice, with MSS 64 and MSS 128, back-to-back
+//     ("all six probes are sent after each other"), so byte-counted IWs
+//     (§4.2) can be told apart from segment-counted ones;
+//   * each probe may span several connections (HTTP redirect / long-URI
+//     escalation, §3.2).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/probe_strategy.hpp"
+#include "core/result.hpp"
+#include "scanner/scan_engine.hpp"
+
+namespace iwscan::core {
+
+enum class ProbeProtocol { Http, Tls };
+
+struct IwScanConfig {
+  ProbeProtocol protocol = ProbeProtocol::Http;
+  std::uint16_t port = 80;
+  std::uint16_t mss_primary = 64;
+  std::uint16_t mss_secondary = 128;  // 0 disables the dual-MSS pass
+  int probes_per_mss = 3;
+  EstimatorConfig estimator;  // announced_mss is overridden per pass
+  sim::SimTime inter_connection_delay = sim::msec(20);
+  HttpStrategyConfig http;
+  bool tls_offer_ocsp = true;
+  // Curated-URL mode (§5 future work): when curated_host is non-empty, HTTP
+  // probes request curated_path with this Host header instead of running the
+  // generic no-prior-knowledge strategy — required for virtualized services.
+  std::string curated_host;
+  std::string curated_path = "/";
+};
+
+class HostProber final : public scan::ProbeSession {
+ public:
+  using RecordFn = std::function<void(const HostScanRecord&)>;
+
+  HostProber(scan::SessionServices& services, net::IPv4Address target,
+             const IwScanConfig& config, RecordFn on_record,
+             std::function<void()> finish);
+  ~HostProber() override;
+
+  void start() override;
+  void on_datagram(const net::Datagram& datagram) override;
+
+ private:
+  // Per-probe merged view over its connections.
+  struct ProbeResult {
+    ConnOutcome outcome = ConnOutcome::Error;
+    std::uint32_t iw_estimate = 0;
+    std::uint64_t span_bytes = 0;
+    std::uint16_t max_segment = 0;
+    std::uint32_t lower_bound = 0;
+    bool fin_seen = false;
+    bool reorder_seen = false;
+    bool loss_holes = false;
+  };
+  // Aggregate over the 3 probes of one MSS pass.
+  struct PassResult {
+    HostOutcome outcome = HostOutcome::Error;
+    std::uint32_t iw_segments = 0;
+    std::uint64_t iw_bytes = 0;
+    std::uint16_t observed_mss = 0;
+    std::uint32_t lower_bound = 0;
+    bool fin_seen = false;
+    bool reorder_seen = false;
+    bool loss_suspected = false;
+  };
+
+  void begin_probe();
+  void begin_connection();
+  void on_connection_done(const ConnObservation& observation);
+  void finish_probe();
+  [[nodiscard]] PassResult aggregate_pass(const std::vector<ProbeResult>& probes) const;
+  void finish_host();
+  [[nodiscard]] std::uint16_t current_mss() const noexcept {
+    return pass_ == 0 ? config_.mss_primary : config_.mss_secondary;
+  }
+  [[nodiscard]] std::unique_ptr<ProbeStrategy> make_strategy();
+
+  scan::SessionServices& services_;
+  net::IPv4Address target_;
+  IwScanConfig config_;
+  RecordFn on_record_;
+  std::function<void()> finish_;
+
+  int pass_ = 0;   // 0 = primary MSS, 1 = secondary
+  int probe_ = 0;  // within the pass
+  std::vector<ProbeResult> pass_probes_[2];
+  ProbeResult current_probe_;
+  bool current_probe_has_conn_ = false;
+  std::uint8_t connections_used_ = 0;
+  bool first_connection_ = true;
+  bool finished_ = false;
+
+  std::unique_ptr<ProbeStrategy> strategy_;
+  std::unique_ptr<IwEstimator> estimator_;
+  std::vector<std::unique_ptr<IwEstimator>> old_estimators_;
+  sim::EventId continuation_ = sim::kNullEvent;
+};
+
+/// ProbeModule adapter so HostProber plugs into the ScanEngine.
+class IwProbeModule final : public scan::ProbeModule {
+ public:
+  IwProbeModule(IwScanConfig config, HostProber::RecordFn on_record)
+      : config_(std::move(config)), on_record_(std::move(on_record)) {}
+
+  std::unique_ptr<scan::ProbeSession> create_session(
+      scan::SessionServices& services, net::IPv4Address target,
+      std::function<void()> finish) override;
+
+  [[nodiscard]] const IwScanConfig& config() const noexcept { return config_; }
+
+ private:
+  IwScanConfig config_;
+  HostProber::RecordFn on_record_;
+};
+
+}  // namespace iwscan::core

@@ -1,0 +1,120 @@
+#include "core/probe_strategy.hpp"
+
+#include "httpd/http_message.hpp"
+#include "util/strings.hpp"
+
+namespace iwscan::core {
+namespace {
+
+class HttpStrategy final : public ProbeStrategy {
+ public:
+  HttpStrategy(net::IPv4Address target, HttpStrategyConfig config)
+      : config_(std::move(config)), host_(target.to_string()), path_("/") {}
+
+  net::Bytes request() override {
+    ++connections_;
+    std::string req = "GET " + path_ + " HTTP/1.1\r\n";
+    req += "Host: " + host_ + "\r\n";
+    req += "User-Agent: " + config_.user_agent + "\r\n";
+    req += "Accept: */*\r\n";
+    // Connection: close makes the server FIN once the response is done —
+    // the signal that the IW was *not* filled (§3.2).
+    req += "Connection: close\r\n\r\n";
+    return net::to_bytes(req);
+  }
+
+  bool wants_followup(const ConnObservation& observation) override {
+    if (connections_ >= config_.max_connections) return false;
+    if (observation.outcome == ConnOutcome::Success) return false;
+    if (observation.outcome != ConnOutcome::FewData) return false;
+    if (observation.prefix.empty()) return false;
+
+    const std::string_view text(
+        reinterpret_cast<const char*>(observation.prefix.data()),
+        observation.prefix.size());
+    const auto head = http::parse_response_head(text);
+    if (!head) return false;
+
+    if ((head->status == 301 || head->status == 302 || head->status == 307 ||
+         head->status == 308) &&
+        !followed_redirect_) {
+      const auto location = head->header("Location");
+      if (location) {
+        const auto parts = http::parse_location(*location);
+        if (parts) {
+          // A valid URI (and possibly a common name for the Host header)
+          // extracted from the error response (§3.2).
+          followed_redirect_ = true;
+          if (!parts->host.empty()) host_ = parts->host;
+          path_ = parts->path.empty() ? "/" : parts->path;
+          return true;
+        }
+      }
+    }
+
+    if (!tried_long_uri_) {
+      // Bloat the error page: many servers echo the unknown URI in their
+      // 404 body, so a long URI inflates the response (§3.2). The URI
+      // states the nature of the scan, as the paper's does.
+      tried_long_uri_ = true;
+      std::string uri = "/this-is-a-tcp-initial-window-measurement-see-"
+                        "iw.example.net-for-details-";
+      if (uri.size() < config_.long_uri_length) {
+        uri.append(config_.long_uri_length - uri.size(), 'x');
+      }
+      path_ = std::move(uri);
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view name() const override { return "http"; }
+
+ private:
+  HttpStrategyConfig config_;
+  std::string host_;
+  std::string path_;
+  int connections_ = 0;
+  bool followed_redirect_ = false;
+  bool tried_long_uri_ = false;
+};
+
+class UrlListStrategy final : public ProbeStrategy {
+ public:
+  UrlListStrategy(std::string host_header, std::string path)
+      : host_(std::move(host_header)), path_(std::move(path)) {}
+
+  net::Bytes request() override {
+    std::string req = "GET " + path_ + " HTTP/1.1\r\n";
+    req += "Host: " + host_ + "\r\n";
+    req += "User-Agent: iwscan/1.0 (curated-url mode)\r\n";
+    req += "Accept: */*\r\n";
+    req += "Connection: close\r\n\r\n";
+    return net::to_bytes(req);
+  }
+
+  bool wants_followup(const ConnObservation&) override {
+    // The URL is already known-good; there is nothing to escalate to.
+    return false;
+  }
+
+  std::string_view name() const override { return "url-list"; }
+
+ private:
+  std::string host_;
+  std::string path_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProbeStrategy> make_http_strategy(net::IPv4Address target,
+                                                  HttpStrategyConfig config) {
+  return std::make_unique<HttpStrategy>(target, std::move(config));
+}
+
+std::unique_ptr<ProbeStrategy> make_url_list_strategy(std::string host_header,
+                                                      std::string path) {
+  return std::make_unique<UrlListStrategy>(std::move(host_header), std::move(path));
+}
+
+}  // namespace iwscan::core

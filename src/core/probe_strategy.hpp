@@ -1,0 +1,60 @@
+// Application-layer probe strategies: how to trigger a large-enough
+// response from an unknown host (§3.2 HTTP, §3.3 TLS).
+//
+// One strategy instance drives one probe attempt, which may span multiple
+// connections (HTTP follows a 301 redirect on a fresh connection, then
+// falls back to a bloated URI that enlarges echoing 404 pages).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/result.hpp"
+
+namespace iwscan::core {
+
+class ProbeStrategy {
+ public:
+  virtual ~ProbeStrategy() = default;
+
+  /// Request payload for the next connection of this probe attempt.
+  [[nodiscard]] virtual net::Bytes request() = 0;
+
+  /// Inspect a concluded connection. Returns true if the strategy wants a
+  /// follow-up connection (it has updated its internal state so the next
+  /// request() reflects the new plan).
+  [[nodiscard]] virtual bool wants_followup(const ConnObservation& observation) = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+struct HttpStrategyConfig {
+  std::string user_agent = "iwscan/1.0 (+https://iw.example.net/research)";
+  /// Long-URI length: fills the connection's MTU so the echoed 404 body is
+  /// as large as possible (§3.2 — "more bytes than we announced ... in the
+  /// MSS").
+  std::size_t long_uri_length = 1300;
+  int max_connections = 2;
+};
+
+/// HTTP probe: GET / with the IP as Host → follow 301 → long-URI fallback.
+[[nodiscard]] std::unique_ptr<ProbeStrategy> make_http_strategy(
+    net::IPv4Address target, HttpStrategyConfig config);
+
+struct TlsStrategyConfig {
+  bool offer_ocsp_stapling = true;  // §3.3: "extensions for requesting OCSP"
+  std::uint64_t seed = 0;           // ClientHello random
+};
+
+/// TLS probe: ClientHello with the 40-cipher browser-union list; the
+/// certificate chain in the reply is the data source. Single connection.
+[[nodiscard]] std::unique_ptr<ProbeStrategy> make_tls_strategy(TlsStrategyConfig config);
+
+/// Curated-URL probe (the future work of §5): with prior knowledge of a
+/// valid host name + path (à la Padhye/Floyd and Medina et al. URL lists),
+/// request that resource directly — the only way to assess virtualized
+/// per-customer services like Akamai's (§4.3). Single connection.
+[[nodiscard]] std::unique_ptr<ProbeStrategy> make_url_list_strategy(
+    std::string host_header, std::string path);
+
+}  // namespace iwscan::core

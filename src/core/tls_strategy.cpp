@@ -1,0 +1,54 @@
+#include "core/probe_strategy.hpp"
+
+#include "tls/handshake.hpp"
+#include "tls/records.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::core {
+namespace {
+
+class TlsStrategy final : public ProbeStrategy {
+ public:
+  explicit TlsStrategy(TlsStrategyConfig config) : config_(config) {}
+
+  net::Bytes request() override {
+    tls::ClientHello hello;
+    hello.version = tls::kTls12;
+    util::Rng rng(util::mix64(config_.seed, 0x7175c11e));
+    for (auto& byte : hello.random) byte = static_cast<std::uint8_t>(rng());
+    const auto probe_list = tls::probe_cipher_list();
+    hello.cipher_suites.assign(probe_list.begin(), probe_list.end());
+    // No SNI: the scan enumerates IPs without forward-DNS knowledge (§4,
+    // "missing Server Name Indication" explains part of the few-data TLS
+    // hosts). OCSP stapling is requested to coax even more first-flight
+    // bytes out of the server (§3.3).
+    hello.server_name.reset();
+    hello.ocsp_stapling = config_.offer_ocsp_stapling;
+
+    const net::Bytes body = hello.encode();
+    const net::Bytes message =
+        tls::encode_handshake(tls::HandshakeType::ClientHello, body);
+    net::Bytes wire;
+    tls::encode_fragmented(tls::ContentType::Handshake, tls::kTls10, message, wire);
+    return wire;
+  }
+
+  bool wants_followup(const ConnObservation&) override {
+    // §3.3: no retry logic — the certificate chain either fills the IW or
+    // it does not; the length fields are deliberately not inspected.
+    return false;
+  }
+
+  std::string_view name() const override { return "tls"; }
+
+ private:
+  TlsStrategyConfig config_;
+};
+
+}  // namespace
+
+std::unique_ptr<ProbeStrategy> make_tls_strategy(TlsStrategyConfig config) {
+  return std::make_unique<TlsStrategy>(config);
+}
+
+}  // namespace iwscan::core

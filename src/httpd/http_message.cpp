@@ -1,0 +1,177 @@
+#include "httpd/http_message.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace iwscan::http {
+namespace {
+
+std::optional<std::string_view> find_header(const std::vector<Header>& headers,
+                                            std::string_view name) {
+  for (const auto& header : headers) {
+    if (util::iequals(header.name, name)) return header.value;
+  }
+  return std::nullopt;
+}
+
+/// Parse "Name: value" lines between `begin` and the blank line.
+bool parse_header_block(std::string_view block, std::vector<Header>& out) {
+  for (const auto line : util::split(block, '\n')) {
+    std::string_view trimmed = line;
+    if (!trimmed.empty() && trimmed.back() == '\r') trimmed.remove_suffix(1);
+    if (trimmed.empty()) continue;
+    const std::size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos) return false;
+    out.push_back(Header{std::string(util::trim(trimmed.substr(0, colon))),
+                         std::string(util::trim(trimmed.substr(colon + 1)))});
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string_view> HttpRequest::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+bool HttpRequest::wants_close() const {
+  const auto connection = header("Connection");
+  return connection && util::icontains(*connection, "close");
+}
+
+std::optional<std::string_view> HttpResponse::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out;
+  out.reserve(128 + body.size());
+  out += version;
+  out += ' ';
+  out += std::to_string(status);
+  out += ' ';
+  out += reason;
+  out += "\r\n";
+  for (const auto& header : headers) {
+    out += header.name;
+    out += ": ";
+    out += header.value;
+    out += "\r\n";
+  }
+  out += "Content-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\n\r\n";
+  out += body;
+  return out;
+}
+
+RequestParser::Status RequestParser::feed(std::string_view data) {
+  if (complete_) return Status::Complete;
+  buffer_.append(data);
+  if (buffer_.size() > kMaxHeaderBytes) return Status::Invalid;
+
+  const std::size_t end = buffer_.find("\r\n\r\n");
+  if (end == std::string::npos) return Status::NeedMore;
+
+  const std::string_view head(buffer_.data(), end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  const auto parts = util::split(request_line, ' ');
+  if (parts.size() != 3 || parts[0].empty() || parts[1].empty()) {
+    return Status::Invalid;
+  }
+  request_.method = std::string(parts[0]);
+  request_.target = std::string(parts[1]);
+  request_.version = std::string(parts[2]);
+  if (!request_.version.starts_with("HTTP/")) return Status::Invalid;
+
+  request_.headers.clear();
+  if (line_end != std::string_view::npos &&
+      !parse_header_block(head.substr(line_end + 2), request_.headers)) {
+    return Status::Invalid;
+  }
+  complete_ = true;
+  return Status::Complete;
+}
+
+void RequestParser::reset() {
+  buffer_.clear();
+  request_ = HttpRequest{};
+  complete_ = false;
+}
+
+std::optional<ParsedResponseHead> parse_response_head(std::string_view data) {
+  const std::size_t end = data.find("\r\n\r\n");
+  if (end == std::string_view::npos) return std::nullopt;
+  const std::string_view head = data.substr(0, end);
+  const std::size_t line_end = head.find("\r\n");
+  const std::string_view status_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // "HTTP/1.1 301 Moved Permanently"
+  if (!status_line.starts_with("HTTP/")) return std::nullopt;
+  const std::size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  const std::size_t sp2 = status_line.find(' ', sp1 + 1);
+  const std::string_view code_text =
+      status_line.substr(sp1 + 1, sp2 == std::string_view::npos
+                                      ? std::string_view::npos
+                                      : sp2 - sp1 - 1);
+  int status = 0;
+  const auto [ptr, ec] =
+      std::from_chars(code_text.data(), code_text.data() + code_text.size(), status);
+  if (ec != std::errc{} || ptr != code_text.data() + code_text.size()) {
+    return std::nullopt;
+  }
+
+  ParsedResponseHead parsed;
+  parsed.status = status;
+  if (sp2 != std::string_view::npos) parsed.reason = std::string(status_line.substr(sp2 + 1));
+  parsed.header_bytes = end + 4;
+  if (line_end != std::string_view::npos &&
+      !parse_header_block(head.substr(line_end + 2), parsed.headers)) {
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+std::optional<std::string_view> ParsedResponseHead::header(std::string_view name) const {
+  return find_header(headers, name);
+}
+
+std::optional<LocationParts> parse_location(std::string_view uri) {
+  uri = util::trim(uri);
+  if (uri.empty()) return std::nullopt;
+
+  LocationParts parts;
+  if (util::istarts_with(uri, "http://")) {
+    uri.remove_prefix(7);
+  } else if (util::istarts_with(uri, "https://")) {
+    uri.remove_prefix(8);
+  } else if (uri.front() == '/') {
+    parts.path = std::string(uri);
+    return parts;
+  } else {
+    return std::nullopt;
+  }
+
+  const std::size_t slash = uri.find('/');
+  if (slash == std::string_view::npos) {
+    parts.host = std::string(uri);
+    parts.path = "/";
+  } else {
+    parts.host = std::string(uri.substr(0, slash));
+    parts.path = std::string(uri.substr(slash));
+  }
+  if (parts.host.empty()) return std::nullopt;
+  // Strip an explicit port from the authority.
+  if (const std::size_t colon = parts.host.find(':'); colon != std::string::npos) {
+    parts.host.resize(colon);
+  }
+  return parts;
+}
+
+}  // namespace iwscan::http

@@ -1,0 +1,86 @@
+// HTTP/1.1 message parsing and generation (request/response subset used by
+// the scan: GET requests, status lines, Host/Location/Connection headers).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace iwscan::http {
+
+struct Header {
+  std::string name;
+  std::string value;
+};
+
+struct HttpRequest {
+  std::string method;
+  std::string target;
+  std::string version;
+  std::vector<Header> headers;
+
+  /// First header with the given name, case-insensitive.
+  [[nodiscard]] std::optional<std::string_view> header(std::string_view name) const;
+  [[nodiscard]] bool wants_close() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason;
+  std::string version = "HTTP/1.1";
+  std::vector<Header> headers;
+  std::string body;
+
+  [[nodiscard]] std::optional<std::string_view> header(std::string_view name) const;
+  /// Serialize with Content-Length computed from the body.
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Incremental request parser. Feed bytes as they arrive; a complete
+/// request (through the blank line; bodies are not expected on GET) is
+/// returned once available.
+class RequestParser {
+ public:
+  enum class Status { NeedMore, Complete, Invalid };
+
+  Status feed(std::string_view data);
+
+  /// Valid only after feed() returned Complete.
+  [[nodiscard]] const HttpRequest& request() const noexcept { return request_; }
+
+  /// Prepare for the next request on the same connection.
+  void reset();
+
+ private:
+  std::string buffer_;
+  HttpRequest request_;
+  bool complete_ = false;
+  // Guard against unbounded header growth from a hostile/buggy peer.
+  static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+};
+
+/// Parse a serialized response's status line and headers (body follows per
+/// Content-Length). Used by the scanner to interpret probe answers.
+struct ParsedResponseHead {
+  int status = 0;
+  std::string reason;
+  std::vector<Header> headers;
+  std::size_t header_bytes = 0;  // offset where the body starts
+
+  [[nodiscard]] std::optional<std::string_view> header(std::string_view name) const;
+};
+
+[[nodiscard]] std::optional<ParsedResponseHead> parse_response_head(std::string_view data);
+
+/// Extract the path (and implicit host) from an absolute or relative URI in
+/// a Location header. Returns {host, path}; host is empty for relative URIs.
+struct LocationParts {
+  std::string host;
+  std::string path;
+};
+[[nodiscard]] std::optional<LocationParts> parse_location(std::string_view uri);
+
+}  // namespace iwscan::http

@@ -1,0 +1,168 @@
+#include "httpd/http_server.hpp"
+
+#include "netbase/ipv4.hpp"
+#include "tcpstack/host.hpp"
+#include "util/strings.hpp"
+
+namespace iwscan::http {
+
+void HttpServerApp::on_data(tcp::TcpConnection& conn,
+                            std::span<const std::uint8_t> data) {
+  if (config_.root == RootBehavior::Silent) return;
+  if (config_.root == RootBehavior::RawBanner) {
+    if (responded_) return;
+    responded_ = true;
+    std::string banner = "220 device ready\r\n";
+    if (banner.size() < config_.page_size) {
+      banner.append(config_.page_size - banner.size(), '*');
+    } else {
+      banner.resize(config_.page_size);
+    }
+    conn.send(banner);
+    conn.close();
+    return;
+  }
+
+  const std::string_view text(reinterpret_cast<const char*>(data.data()), data.size());
+  switch (parser_.feed(text)) {
+    case RequestParser::Status::NeedMore:
+      return;
+    case RequestParser::Status::Invalid:
+      conn.abort();
+      return;
+    case RequestParser::Status::Complete:
+      break;
+  }
+  if (responded_) return;  // one response per connection; peers send Connection: close
+  responded_ = true;
+  respond(conn, parser_.request());
+}
+
+HttpServerApp::~HttpServerApp() {
+  if (loop_ != nullptr) loop_->cancel(pending_response_);
+}
+
+void HttpServerApp::respond(tcp::TcpConnection& conn, const HttpRequest& request) {
+  const HttpResponse response = build_response(request);
+  const bool close_after = request.wants_close() || response.status == 301;
+  const std::string wire = response.serialize();
+  if (config_.processing_delay == sim::SimTime::zero()) {
+    conn.send(wire);
+    if (close_after) conn.close();
+    return;
+  }
+  // Delayed response. The connection owns this app, so if the connection is
+  // destroyed first the app destructor cancels the event — the captured
+  // references can never dangle.
+  loop_ = &conn.loop();
+  pending_response_ = loop_->schedule(
+      config_.processing_delay, [this, &conn, wire, close_after] {
+        pending_response_ = sim::kNullEvent;
+        if (conn.state() == tcp::TcpState::Closed) return;
+        conn.send(wire);
+        if (close_after) conn.close();
+      });
+}
+
+HttpResponse HttpServerApp::build_response(const HttpRequest& request) const {
+  HttpResponse response;
+  response.headers.push_back({"Server", config_.server_header});
+  response.headers.push_back({"Content-Type", "text/html"});
+  if (request.wants_close()) response.headers.push_back({"Connection", "close"});
+
+  const auto host = request.header("Host");
+  const bool host_is_name = host && !net::IPv4Address::parse(*host).has_value() &&
+                            !host->empty();
+  const bool is_root = request.target == "/";
+
+  switch (config_.root) {
+    case RootBehavior::Page:
+      response.status = 200;
+      response.reason = "OK";
+      response.body = page_body(config_.page_size, "page");
+      return response;
+
+    case RootBehavior::RedirectToName:
+      if (is_root && !host_is_name) {
+        response.status = 301;
+        response.reason = "Moved Permanently";
+        response.headers.push_back(
+            {"Location", "http://" + config_.canonical_name + "/"});
+        response.body = "<html><head><title>301 Moved Permanently</title></head>"
+                        "<body><h1>Moved Permanently</h1></body></html>";
+        return response;
+      }
+      // Named virtual host (or deep link): the real page.
+      response.status = 200;
+      response.reason = "OK";
+      response.body = page_body(config_.redirected_page_size, "vhost");
+      return response;
+
+    case RootBehavior::NotFoundEcho: {
+      response.status = 404;
+      response.reason = "Not Found";
+      std::string body = "<html><head><title>404 Not Found</title></head><body>"
+                         "<h1>Not Found</h1><p>The requested URL ";
+      body += request.target;
+      body += " was not found on this server.</p>";
+      body.append(config_.not_found_extra, '.');
+      body += "</body></html>";
+      response.body = std::move(body);
+      return response;
+    }
+
+    case RootBehavior::NotFoundPlain:
+      response.status = 404;
+      response.reason = "Not Found";
+      response.body = "<html><body><h1>404 Not Found</h1></body></html>";
+      return response;
+
+    case RootBehavior::EmptyReply:
+      response.status = 200;
+      response.reason = "OK";
+      response.body.clear();
+      return response;
+
+    case RootBehavior::VirtualHosted:
+      // Only a valid (customer) Host name selects a real service; IP-based
+      // probing sees a short error — the reason the paper's generalized
+      // methodology cannot assess virtualized services without prior
+      // knowledge (§4.3/§5).
+      if (host && util::iequals(*host, config_.canonical_name)) {
+        response.status = 200;
+        response.reason = "OK";
+        response.body = page_body(config_.redirected_page_size, "vhost");
+      } else {
+        response.status = 404;
+        response.reason = "Not Found";
+        response.body = "<html><body><h1>404 Not Found</h1></body></html>";
+      }
+      return response;
+
+    case RootBehavior::RawBanner:
+    case RootBehavior::Silent:
+      break;  // handled before parsing; unreachable here
+  }
+  response.status = 500;
+  response.reason = "Internal Server Error";
+  return response;
+}
+
+std::string HttpServerApp::page_body(std::size_t size, std::string_view tag) {
+  std::string body = "<html><head><title>";
+  body += tag;
+  body += "</title></head><body>";
+  const std::string filler = "<p>lorem ipsum dolor sit amet consectetur</p>";
+  while (body.size() + filler.size() + 14 < size) body += filler;
+  if (body.size() + 14 < size) body.append(size - body.size() - 14, 'x');
+  body += "</body></html>";
+  return body;
+}
+
+tcp::TcpHost::AppFactory HttpServerApp::factory(WebConfig config) {
+  return [config](net::IPv4Address, std::uint16_t) {
+    return std::make_unique<HttpServerApp>(config);
+  };
+}
+
+}  // namespace iwscan::http

@@ -1,0 +1,71 @@
+// HTTP origin-server behaviour models.
+//
+// Each simulated web host gets a WebConfig capturing the behaviours the
+// paper's HTTP probing method interacts with (§3.2):
+//   * direct 200 pages of varying size (enough data vs. "few data"),
+//   * virtual-hosting 301 redirects whose Location reveals a valid URI,
+//   * 404 pages that echo the (deliberately bloated) request URI — and the
+//     Akamai-style variant that stopped echoing mid-study,
+//   * Connection: close honoring, which lets the scanner observe a FIN when
+//     a response ends before the IW is exhausted.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "httpd/http_message.hpp"
+#include "tcpstack/connection.hpp"
+#include "tcpstack/host.hpp"
+
+namespace iwscan::http {
+
+enum class RootBehavior {
+  Page,            // "/" serves a page directly
+  RedirectToName,  // "/" with an IP Host header → 301 to the canonical name
+  NotFoundEcho,    // unknown URIs → 404 echoing the request URI
+  NotFoundPlain,   // unknown URIs → short fixed 404
+  EmptyReply,      // headers only, zero-length body (never enough data)
+  RawBanner,       // non-HTTP service: page_size raw bytes, then close
+  Silent,          // accepts requests, never answers (Table 2 "NoData")
+  VirtualHosted,   // CDN edge: real page only for a known Host header,
+                   // short non-echoing 404 otherwise (§4.3 Akamai model)
+};
+
+struct WebConfig {
+  RootBehavior root = RootBehavior::Page;
+  std::size_t page_size = 4096;        // body bytes of the canonical page
+  std::string canonical_name;          // e.g. "www.example-a1b2.net"
+  std::string server_header = "Apache";
+  // When redirecting: body size of the page reached via the redirect.
+  std::size_t redirected_page_size = 8192;
+  // 404 body overhead around the echoed URI.
+  std::size_t not_found_extra = 160;
+  sim::SimTime processing_delay = sim::SimTime::zero();
+};
+
+/// Per-connection HTTP application. Create via factory() for TcpHost.
+class HttpServerApp final : public tcp::Application {
+ public:
+  explicit HttpServerApp(WebConfig config) : config_(std::move(config)) {}
+  ~HttpServerApp() override;
+
+  void on_data(tcp::TcpConnection& conn, std::span<const std::uint8_t> data) override;
+
+  /// TcpHost-compatible factory closing over a shared config.
+  [[nodiscard]] static tcp::TcpHost::AppFactory factory(WebConfig config);
+
+ private:
+  void respond(tcp::TcpConnection& conn, const HttpRequest& request);
+  [[nodiscard]] HttpResponse build_response(const HttpRequest& request) const;
+  [[nodiscard]] static std::string page_body(std::size_t size, std::string_view tag);
+
+  WebConfig config_;
+  RequestParser parser_;
+  bool responded_ = false;
+  // Pending delayed-response event; cancelled on destruction so it can
+  // never fire against a torn-down connection (the app dies with it).
+  sim::EventLoop* loop_ = nullptr;
+  sim::EventId pending_response_ = sim::kNullEvent;
+};
+
+}  // namespace iwscan::http

@@ -1,0 +1,189 @@
+#include "inetmodel/internet.hpp"
+
+#include "httpd/http_server.hpp"
+#include "tls/tls_server.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::model {
+namespace {
+
+/// Table-1 "Error" hosts: the connection is accepted, then reset as soon
+/// as the request arrives (middleboxes, IDS appliances, broken daemons).
+class AbortApp final : public tcp::Application {
+ public:
+  void on_data(tcp::TcpConnection& conn, std::span<const std::uint8_t>) override {
+    conn.abort();
+  }
+};
+
+std::string server_header_for(const GroundTruth& gt, util::Rng& rng) {
+  // The Akamai "GHost" server string is what the paper's Table 3 service
+  // classifier keys on.
+  if (gt.as->service_tag == "akamai") return "GHost";
+  if (gt.as->service_tag == "cloudflare") return "cloudflare";
+  const double r = rng.uniform01();
+  if (r < 0.40) return "Apache";
+  if (r < 0.70) return "nginx";
+  if (r < 0.85) return "Microsoft-IIS/8.5";
+  if (r < 0.95) return "lighttpd";
+  return "httpd";
+}
+
+}  // namespace
+
+InternetModel::InternetModel(sim::Network& network, ModelConfig config)
+    : network_(network),
+      config_(config),
+      registry_(AsRegistry::standard(config.scale_log2)) {}
+
+InternetModel::~InternetModel() {
+  network_.loop().cancel(sweep_event_);
+  for (const auto& [ip, host] : hosts_) {
+    network_.detach(ip);
+    network_.clear_path(ip);
+  }
+}
+
+void InternetModel::install() {
+  network_.set_resolver([this](net::IPv4Address ip) { return resolve(ip); });
+  sweep_event_ = network_.loop().schedule(config_.sweep_interval, [this] { sweep(); });
+}
+
+sim::Endpoint* InternetModel::resolve(net::IPv4Address ip) {
+  const GroundTruth gt = truth(ip);
+  if (!gt.present) return nullptr;  // dark space: probes just time out
+
+  auto host = build_host(ip, gt);
+  tcp::TcpHost* raw = host.get();
+
+  sim::PathConfig path = network_.default_path();
+  path.latency = sim::usec(gt.latency_us);
+  path.jitter = config_.jitter;
+  path.loss_rate = config_.loss_rate;
+  path.reorder_rate = config_.reorder_rate;
+  path.path_mtu = gt.path_mtu;
+  network_.set_path(ip, path);
+
+  network_.attach(ip, raw);
+  hosts_.emplace(ip, std::move(host));
+  ++instantiated_;
+  return raw;
+}
+
+std::unique_ptr<tcp::TcpHost> InternetModel::build_host(net::IPv4Address ip,
+                                                        const GroundTruth& gt) {
+  util::Rng rng(util::mix64(config_.seed ^ 0xb111dULL, ip.value()));
+
+  tcp::StackConfig base;
+  base.os = gt.os;
+  base.own_mss_limit = static_cast<std::uint16_t>(
+      gt.path_mtu >= 1500 ? 1460 : gt.path_mtu - 40);
+  auto host = std::make_unique<tcp::TcpHost>(network_, ip, base,
+                                             util::mix64(config_.seed, ip.value()));
+
+  const std::string server_header = server_header_for(gt, rng);
+
+  if (gt.http) {
+    tcp::StackConfig http_stack = base;
+    http_stack.iw = gt.http_iw;
+
+    if (gt.http_category == HttpCategory::Abort) {
+      host->listen(80,
+                   [](net::IPv4Address, std::uint16_t) {
+                     return std::make_unique<AbortApp>();
+                   },
+                   http_stack);
+    } else {
+      http::WebConfig web;
+      web.server_header = server_header;
+      switch (gt.http_category) {
+        case HttpCategory::SuccessDirect:
+          web.root = http::RootBehavior::Page;
+          web.page_size = gt.http_page_bytes;
+          break;
+        case HttpCategory::SuccessRedirect:
+          web.root = http::RootBehavior::RedirectToName;
+          web.canonical_name = gt.canonical_name;
+          web.redirected_page_size = gt.redirect_page_bytes;
+          break;
+        case HttpCategory::SuccessEcho:
+          web.root = http::RootBehavior::NotFoundEcho;
+          web.not_found_extra = 160;
+          break;
+        case HttpCategory::FewData: {
+          const std::uint32_t eff = gt.os == tcp::OsProfile::Windows ? 536 : 64;
+          const std::size_t span = gt.few_bound * eff - eff / 2;
+          const std::size_t overhead =
+              http_response_overhead(server_header, 200, span, true);
+          if (span > overhead + 8) {
+            web.root = http::RootBehavior::Page;
+            web.page_size = gt.http_page_bytes;
+          } else {
+            web.root = http::RootBehavior::RawBanner;
+            web.page_size = gt.http_page_bytes;
+          }
+          break;
+        }
+        case HttpCategory::NoData:
+          web.root = http::RootBehavior::Silent;
+          break;
+        case HttpCategory::Abort:
+          break;  // handled above
+      }
+      host->listen(80, http::HttpServerApp::factory(std::move(web)), http_stack);
+    }
+  }
+
+  if (gt.tls) {
+    tcp::StackConfig tls_stack = base;
+    tls_stack.iw = gt.tls_iw;
+
+    if (gt.tls_category == TlsCategory::Abort) {
+      host->listen(443,
+                   [](net::IPv4Address, std::uint16_t) {
+                     return std::make_unique<AbortApp>();
+                   },
+                   tls_stack);
+    } else {
+      tls::TlsConfig cfg;
+      cfg.chain_bytes = gt.chain_bytes;
+      cfg.server_name = gt.canonical_name;
+      cfg.seed = util::mix64(config_.seed, ip.value() ^ 3);
+      cfg.ocsp_staple = gt.ocsp_staple;
+      switch (gt.tls_category) {
+        case TlsCategory::Normal:
+          cfg.sni_policy = tls::SniPolicy::Ignore;
+          break;
+        case TlsCategory::SniAlert:
+          cfg.sni_policy = tls::SniPolicy::AlertAndClose;
+          break;
+        case TlsCategory::SniSilent:
+          cfg.sni_policy = tls::SniPolicy::SilentClose;
+          break;
+        case TlsCategory::ExoticCipher:
+          cfg.supported_ciphers = tls::cipher_set(tls::CipherProfile::Exotic);
+          break;
+        case TlsCategory::Abort:
+          break;  // handled above
+      }
+      host->listen(443, tls::TlsServerApp::factory(std::move(cfg)), tls_stack);
+    }
+  }
+
+  return host;
+}
+
+void InternetModel::sweep() {
+  sweep_event_ = network_.loop().schedule(config_.sweep_interval, [this] { sweep(); });
+  for (auto it = hosts_.begin(); it != hosts_.end();) {
+    if (it->second->quiescent()) {
+      network_.detach(it->first);
+      network_.clear_path(it->first);
+      it = hosts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace iwscan::model

@@ -1,0 +1,66 @@
+// Host ground truth: a pure, deterministic function (registry, seed, ip) →
+// everything about the host at that address. Because it is pure, the
+// simulator can materialize hosts lazily during a scan, and the analysis /
+// validation code can recompute the truth for any address without storing
+// millions of records.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "inetmodel/as_registry.hpp"
+#include "netbase/ipv4.hpp"
+#include "tcpstack/config.hpp"
+
+namespace iwscan::model {
+
+struct GroundTruth {
+  bool present = false;  // something answers at this address
+  bool http = false;     // port 80 open
+  bool tls = false;      // port 443 open
+  const AsInfo* as = nullptr;
+  bool popular = false;  // inside the AS's Alexa-style sub-block
+
+  tcp::OsProfile os = tcp::OsProfile::Linux;
+  tcp::IwConfig http_iw;
+  tcp::IwConfig tls_iw;
+
+  HttpCategory http_category = HttpCategory::SuccessDirect;
+  std::uint32_t few_bound = 0;     // HTTP FewData target (segments at 64 B)
+  std::size_t http_page_bytes = 0; // body size of the canonical page
+  std::size_t redirect_page_bytes = 0;
+  std::string canonical_name;
+
+  TlsCategory tls_category = TlsCategory::Normal;
+  std::size_t chain_bytes = 0;
+  bool ocsp_staple = false;
+
+  std::string rdns;  // empty if no PTR record
+  std::uint32_t path_mtu = 1500;
+  std::uint32_t latency_us = 40'000;  // one-way, microseconds
+
+  /// True IW in segments for a protocol, under an announced MSS, given the
+  /// host's OS clamping — the value a perfect estimator should measure.
+  [[nodiscard]] std::uint32_t true_iw_segments(bool for_tls,
+                                               std::uint16_t announced_mss) const;
+};
+
+/// Longitudinal drift parameters (the §5 trend-monitoring extension).
+struct DriftParams {
+  int epoch = 0;                       // 0 = the paper's snapshot
+  double upgrade_rate_per_epoch = 0.06;  // legacy-Linux → IW10 per epoch
+};
+
+/// Synthesize the ground truth for one address. Pure in (seed, ip, drift);
+/// upgrades are monotone in the epoch (a host never downgrades).
+[[nodiscard]] GroundTruth synthesize_host(const AsRegistry& registry,
+                                          std::uint64_t seed, net::IPv4Address ip,
+                                          const DriftParams& drift = {});
+
+/// Exact on-wire size of an HTTP response head + body produced by our
+/// httpd for the given parameters (used to hit few-data bound targets).
+[[nodiscard]] std::size_t http_response_overhead(std::string_view server_header,
+                                                 int status, std::size_t body_size,
+                                                 bool connection_close);
+
+}  // namespace iwscan::model

@@ -1,0 +1,36 @@
+#include "netbase/checksum.hpp"
+
+namespace iwscan::net {
+
+void ChecksumAccumulator::add(std::span<const std::uint8_t> bytes) noexcept {
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum_ += (static_cast<std::uint16_t>(bytes[i]) << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) sum_ += static_cast<std::uint16_t>(bytes[i]) << 8;
+}
+
+std::uint16_t ChecksumAccumulator::finish() const noexcept {
+  std::uint64_t folded = sum_;
+  while (folded >> 16) folded = (folded & 0xffff) + (folded >> 16);
+  return static_cast<std::uint16_t>(~folded & 0xffff);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) noexcept {
+  ChecksumAccumulator acc;
+  acc.add(bytes);
+  return acc.finish();
+}
+
+std::uint16_t tcp_checksum(IPv4Address src, IPv4Address dst,
+                           std::span<const std::uint8_t> segment) noexcept {
+  ChecksumAccumulator acc;
+  acc.add_u32(src.value());
+  acc.add_u32(dst.value());
+  acc.add_u16(6);  // protocol = TCP
+  acc.add_u16(static_cast<std::uint16_t>(segment.size()));
+  acc.add(segment);
+  return acc.finish();
+}
+
+}  // namespace iwscan::net

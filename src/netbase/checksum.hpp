@@ -1,0 +1,36 @@
+// RFC 1071 Internet checksum, with the TCP/UDP pseudo-header variant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netbase/ipv4.hpp"
+
+namespace iwscan::net {
+
+/// Running ones-complement sum; fold + invert at the end via finish().
+class ChecksumAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> bytes) noexcept;
+  void add_u16(std::uint16_t value) noexcept { sum_ += value; }
+  void add_u32(std::uint32_t value) noexcept {
+    sum_ += (value >> 16) + (value & 0xffff);
+  }
+
+  /// Final folded, inverted checksum in host byte order.
+  [[nodiscard]] std::uint16_t finish() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+};
+
+/// Checksum of a plain byte range (e.g. an IPv4 header with its checksum
+/// field zeroed, or an ICMP message).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes) noexcept;
+
+/// TCP checksum over pseudo-header + segment bytes (header with zeroed
+/// checksum field + payload).
+[[nodiscard]] std::uint16_t tcp_checksum(IPv4Address src, IPv4Address dst,
+                                         std::span<const std::uint8_t> segment) noexcept;
+
+}  // namespace iwscan::net

@@ -1,0 +1,61 @@
+#include "netbase/ipv4.hpp"
+
+#include <charconv>
+
+namespace iwscan::net {
+
+std::optional<IPv4Address> IPv4Address::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* const end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    unsigned octet = 0;
+    const auto [ptr, ec] = std::from_chars(cursor, end, octet);
+    if (ec != std::errc{} || octet > 255) return std::nullopt;
+    // Reject leading zeros longer than one digit ("01") for strictness.
+    if (ptr - cursor > 1 && *cursor == '0') return std::nullopt;
+    value = (value << 8) | octet;
+    cursor = ptr;
+    if (i < 3) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+  }
+  if (cursor != end) return std::nullopt;
+  return IPv4Address{value};
+}
+
+std::string IPv4Address::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) noexcept {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    const auto addr = IPv4Address::parse(text);
+    if (!addr) return std::nullopt;
+    return Cidr{*addr, 32};
+  }
+  const auto addr = IPv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  unsigned len = 0;
+  const std::string_view suffix = text.substr(slash + 1);
+  const auto [ptr, ec] =
+      std::from_chars(suffix.data(), suffix.data() + suffix.size(), len);
+  if (ec != std::errc{} || ptr != suffix.data() + suffix.size() || len > 32) {
+    return std::nullopt;
+  }
+  return Cidr{*addr, static_cast<int>(len)};
+}
+
+std::string Cidr::to_string() const {
+  return base.to_string() + "/" + std::to_string(prefix_len);
+}
+
+}  // namespace iwscan::net

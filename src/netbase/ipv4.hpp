@@ -1,0 +1,80 @@
+// IPv4 addresses and CIDR prefixes.
+//
+// Addresses are held in host byte order; conversion to network order happens
+// only at the wire codec boundary (headers.cpp).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace iwscan::net {
+
+class IPv4Address {
+ public:
+  constexpr IPv4Address() = default;
+  constexpr explicit IPv4Address(std::uint32_t host_order) noexcept : value_(host_order) {}
+  constexpr IPv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parse dotted-quad notation ("192.0.2.1").
+  [[nodiscard]] static std::optional<IPv4Address> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int index) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - index)));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const IPv4Address&) const noexcept = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR block, e.g. 203.0.113.0/24.
+struct Cidr {
+  IPv4Address base;
+  int prefix_len = 32;
+
+  [[nodiscard]] static std::optional<Cidr> parse(std::string_view text) noexcept;
+
+  [[nodiscard]] constexpr std::uint32_t mask() const noexcept {
+    return prefix_len == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_len);
+  }
+  [[nodiscard]] constexpr bool contains(IPv4Address addr) const noexcept {
+    return (addr.value() & mask()) == (base.value() & mask());
+  }
+  /// Number of addresses in the block (2^(32-prefix_len)).
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - prefix_len);
+  }
+  /// First address of the block (network address).
+  [[nodiscard]] constexpr IPv4Address first() const noexcept {
+    return IPv4Address{base.value() & mask()};
+  }
+  /// i-th address inside the block; caller ensures i < size().
+  [[nodiscard]] constexpr IPv4Address at(std::uint64_t i) const noexcept {
+    return IPv4Address{static_cast<std::uint32_t>((base.value() & mask()) + i)};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Cidr&) const noexcept = default;
+};
+
+}  // namespace iwscan::net
+
+template <>
+struct std::hash<iwscan::net::IPv4Address> {
+  std::size_t operator()(const iwscan::net::IPv4Address& addr) const noexcept {
+    // Fibonacci hash of the 32-bit value; good dispersion for sequential IPs.
+    return static_cast<std::size_t>(addr.value() * 0x9E3779B97F4A7C15ULL >> 16);
+  }
+};

@@ -1,0 +1,96 @@
+#include "netbase/packet.hpp"
+
+#include "netbase/checksum.hpp"
+
+namespace iwscan::net {
+
+Bytes encode(const TcpSegment& segment) {
+  Bytes out;
+  const std::size_t tcp_len = segment.tcp.encoded_size() + segment.payload.size();
+  out.reserve(Ipv4Header::kSize + tcp_len);
+  WireWriter writer(out);
+
+  Ipv4Header ip = segment.ip;
+  ip.protocol = kProtocolTcp;
+  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + tcp_len);
+  ip.encode(writer);
+
+  const std::size_t tcp_start = writer.offset();
+  segment.tcp.encode(writer);
+  writer.raw(segment.payload);
+
+  const std::uint16_t checksum = tcp_checksum(
+      ip.src, ip.dst, std::span<const std::uint8_t>(out).subspan(tcp_start));
+  writer.patch_u16(tcp_start + 16, checksum);
+  return out;
+}
+
+Bytes encode(const IcmpDatagram& datagram) {
+  Bytes icmp_bytes;
+  WireWriter icmp_writer(icmp_bytes);
+  datagram.icmp.encode(icmp_writer);
+
+  Bytes out;
+  out.reserve(Ipv4Header::kSize + icmp_bytes.size());
+  WireWriter writer(out);
+  Ipv4Header ip = datagram.ip;
+  ip.protocol = kProtocolIcmp;
+  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + icmp_bytes.size());
+  ip.encode(writer);
+  writer.raw(icmp_bytes);
+  return out;
+}
+
+std::optional<Datagram> decode_datagram(std::span<const std::uint8_t> bytes) {
+  WireReader reader(bytes);
+  const auto ip = Ipv4Header::decode(reader);
+  if (!ip) return std::nullopt;
+  if (ip->total_length < Ipv4Header::kSize || ip->total_length > bytes.size()) {
+    return std::nullopt;
+  }
+  const std::size_t l4_len = ip->total_length - Ipv4Header::kSize;
+
+  if (ip->protocol == kProtocolTcp) {
+    const auto l4 = std::span<const std::uint8_t>(bytes).subspan(Ipv4Header::kSize, l4_len);
+    if (tcp_checksum(ip->src, ip->dst, l4) != 0) return std::nullopt;
+    WireReader tcp_reader(l4);
+    std::size_t data_offset = 0;
+    auto tcp = TcpHeader::decode(tcp_reader, data_offset);
+    if (!tcp) return std::nullopt;
+    if (data_offset > l4_len) return std::nullopt;
+    TcpSegment segment;
+    segment.ip = *ip;
+    segment.tcp = std::move(*tcp);
+    const auto payload = l4.subspan(data_offset);
+    segment.payload.assign(payload.begin(), payload.end());
+    return Datagram{std::move(segment)};
+  }
+
+  if (ip->protocol == kProtocolIcmp) {
+    const auto l4 = std::span<const std::uint8_t>(bytes).subspan(Ipv4Header::kSize, l4_len);
+    auto icmp = IcmpMessage::decode(l4);
+    if (!icmp) return std::nullopt;
+    return Datagram{IcmpDatagram{*ip, std::move(*icmp)}};
+  }
+
+  return std::nullopt;
+}
+
+std::optional<IPv4Address> peek_destination(
+    std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < Ipv4Header::kSize) return std::nullopt;
+  const std::uint32_t value = (std::uint32_t{bytes[16]} << 24) |
+                              (std::uint32_t{bytes[17]} << 16) |
+                              (std::uint32_t{bytes[18]} << 8) | bytes[19];
+  return IPv4Address{value};
+}
+
+std::optional<IPv4Address> peek_source(std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.size() < Ipv4Header::kSize) return std::nullopt;
+  const std::uint32_t value = (std::uint32_t{bytes[12]} << 24) |
+                              (std::uint32_t{bytes[13]} << 16) |
+                              (std::uint32_t{bytes[14]} << 8) | bytes[15];
+  return IPv4Address{value};
+}
+
+}  // namespace iwscan::net

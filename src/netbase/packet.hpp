@@ -1,0 +1,56 @@
+// Whole-datagram encode/decode: IPv4 + (TCP segment | ICMP message).
+//
+// The simulator transports raw byte vectors; these helpers are the only
+// place where full datagrams are assembled or taken apart, so checksums and
+// length fields are guaranteed consistent everywhere.
+#pragma once
+
+#include <optional>
+#include <variant>
+
+#include "netbase/headers.hpp"
+#include "netbase/wire.hpp"
+
+namespace iwscan::net {
+
+struct TcpSegment {
+  Ipv4Header ip;
+  TcpHeader tcp;
+  Bytes payload;
+
+  [[nodiscard]] std::size_t payload_size() const noexcept { return payload.size(); }
+  /// Sequence space consumed: payload plus SYN/FIN flags.
+  [[nodiscard]] std::uint32_t seq_length() const noexcept {
+    return static_cast<std::uint32_t>(payload.size()) + (tcp.has(kSyn) ? 1 : 0) +
+           (tcp.has(kFin) ? 1 : 0);
+  }
+};
+
+struct IcmpDatagram {
+  Ipv4Header ip;
+  IcmpMessage icmp;
+};
+
+using Datagram = std::variant<TcpSegment, IcmpDatagram>;
+
+/// Serialize a TCP segment into wire bytes. Fills ip.total_length and both
+/// checksums; other ip/tcp fields are taken as given.
+[[nodiscard]] Bytes encode(const TcpSegment& segment);
+
+/// Serialize an ICMP datagram.
+[[nodiscard]] Bytes encode(const IcmpDatagram& datagram);
+
+/// Parse any supported datagram. Returns nullopt on malformed bytes, bad
+/// checksum, or unsupported protocol.
+[[nodiscard]] std::optional<Datagram> decode_datagram(std::span<const std::uint8_t> bytes);
+
+/// Destination address without full parsing (for simulator routing).
+/// Returns nullopt if the buffer cannot possibly hold an IPv4 header.
+[[nodiscard]] std::optional<IPv4Address> peek_destination(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+/// Source address without full parsing.
+[[nodiscard]] std::optional<IPv4Address> peek_source(
+    std::span<const std::uint8_t> bytes) noexcept;
+
+}  // namespace iwscan::net

@@ -1,0 +1,126 @@
+// Big-endian wire readers/writers shared by all codecs (IP/TCP/TLS/HTTP
+// framing). Header-only; every access is bounds-checked on the read side.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iwscan::net {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Appends big-endian fields to a growing byte vector.
+class WireWriter {
+ public:
+  explicit WireWriter(Bytes& out) noexcept : out_(out) {}
+
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u24(std::uint32_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v >> 16));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    out_.push_back(static_cast<std::uint8_t>(v));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v));
+  }
+  void raw(std::span<const std::uint8_t> bytes) {
+    out_.insert(out_.end(), bytes.begin(), bytes.end());
+  }
+  void raw(std::string_view text) {
+    out_.insert(out_.end(), text.begin(), text.end());
+  }
+
+  /// Current write offset, for later patch_u16 (length fields).
+  [[nodiscard]] std::size_t offset() const noexcept { return out_.size(); }
+
+  void patch_u8(std::size_t at, std::uint8_t v) { out_[at] = v; }
+  void patch_u16(std::size_t at, std::uint16_t v) {
+    out_[at] = static_cast<std::uint8_t>(v >> 8);
+    out_[at + 1] = static_cast<std::uint8_t>(v);
+  }
+  void patch_u24(std::size_t at, std::uint32_t v) {
+    out_[at] = static_cast<std::uint8_t>(v >> 16);
+    out_[at + 1] = static_cast<std::uint8_t>(v >> 8);
+    out_[at + 2] = static_cast<std::uint8_t>(v);
+  }
+
+ private:
+  Bytes& out_;
+};
+
+/// Bounds-checked big-endian reader. All accessors return nullopt past end;
+/// ok() stays false afterwards so callers can batch-check once.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] bool ok() const noexcept { return ok_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+
+  std::uint8_t u8() noexcept {
+    if (!require(1)) return 0;
+    return data_[pos_++];
+  }
+  std::uint16_t u16() noexcept {
+    if (!require(2)) return 0;
+    const std::uint16_t v =
+        static_cast<std::uint16_t>((data_[pos_] << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  std::uint32_t u24() noexcept {
+    if (!require(3)) return 0;
+    const std::uint32_t v = (std::uint32_t{data_[pos_]} << 16) |
+                            (std::uint32_t{data_[pos_ + 1]} << 8) | data_[pos_ + 2];
+    pos_ += 3;
+    return v;
+  }
+  std::uint32_t u32() noexcept {
+    const std::uint32_t hi = u16();
+    const std::uint32_t lo = u16();
+    return (hi << 16) | lo;
+  }
+  std::span<const std::uint8_t> raw(std::size_t n) noexcept {
+    if (!require(n)) return {};
+    const auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+  void skip(std::size_t n) noexcept {
+    if (require(n)) pos_ += n;
+  }
+
+ private:
+  bool require(std::size_t n) noexcept {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      return false;
+    }
+    return ok_;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Convenience conversion for embedding ASCII payloads.
+[[nodiscard]] inline Bytes to_bytes(std::string_view text) {
+  return Bytes(text.begin(), text.end());
+}
+[[nodiscard]] inline std::string to_string(std::span<const std::uint8_t> bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace iwscan::net

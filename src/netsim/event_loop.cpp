@@ -1,0 +1,63 @@
+#include "netsim/event_loop.hpp"
+
+#include <utility>
+
+namespace iwscan::sim {
+
+EventId EventLoop::schedule(SimTime delay, Callback fn) {
+  if (delay < SimTime::zero()) delay = SimTime::zero();
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventId EventLoop::schedule_at(SimTime when, Callback fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_id_++;
+  queue_.push(Entry{when, id});
+  pending_.emplace(id, std::move(fn));
+  return id;
+}
+
+void EventLoop::cancel(EventId id) {
+  if (id == kNullEvent) return;
+  pending_.erase(id);
+  // The heap entry stays and is skipped lazily on pop.
+}
+
+bool EventLoop::step() {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    queue_.pop();
+    const auto it = pending_.find(entry.id);
+    if (it == pending_.end()) continue;  // cancelled
+    Callback fn = std::move(it->second);
+    pending_.erase(it);
+    now_ = entry.when;
+    ++events_processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    const Entry entry = queue_.top();
+    if (entry.when > deadline) break;
+    queue_.pop();
+    const auto it = pending_.find(entry.id);
+    if (it == pending_.end()) continue;
+    Callback fn = std::move(it->second);
+    pending_.erase(it);
+    now_ = entry.when;
+    ++events_processed_;
+    fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace iwscan::sim

@@ -1,0 +1,76 @@
+// Discrete-event simulation core.
+//
+// Virtual time advances only when events fire, so a whole-population scan
+// that would take hours of wall-clock time on a real network executes in
+// seconds while preserving every timing-dependent behaviour (RTOs, scan
+// timeouts, rate limiting).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+
+namespace iwscan::sim {
+
+using SimTime = std::chrono::nanoseconds;
+
+constexpr SimTime usec(std::int64_t n) { return std::chrono::microseconds(n); }
+constexpr SimTime msec(std::int64_t n) { return std::chrono::milliseconds(n); }
+constexpr SimTime sec(std::int64_t n) { return std::chrono::seconds(n); }
+
+/// Handle for cancelling a scheduled event. 0 is the null handle.
+using EventId = std::uint64_t;
+inline constexpr EventId kNullEvent = 0;
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run `delay` after now. Negative delays clamp to now.
+  EventId schedule(SimTime delay, Callback fn);
+
+  /// Schedule at an absolute virtual time (clamped to now if in the past).
+  EventId schedule_at(SimTime when, Callback fn);
+
+  /// Cancel a pending event. Safe on already-fired or null ids.
+  void cancel(EventId id);
+
+  /// Run a single event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run events with time ≤ deadline; advances now() to deadline if the
+  /// queue drains earlier.
+  void run_until(SimTime deadline);
+
+  /// Run until the queue is empty.
+  void run();
+
+  [[nodiscard]] bool empty() const noexcept { return pending_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept { return pending_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return events_processed_;
+  }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    // Earliest-first; ties break by schedule order for determinism.
+    bool operator<(const Entry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return id > other.id;
+    }
+  };
+
+  SimTime now_{0};
+  EventId next_id_ = 1;
+  std::priority_queue<Entry> queue_;
+  std::unordered_map<EventId, Callback> pending_;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace iwscan::sim

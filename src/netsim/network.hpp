@@ -1,0 +1,122 @@
+// Simulated IP fabric: routes datagrams between endpoints with per-path
+// delay, loss, reordering, and path-MTU enforcement.
+//
+// This is the stand-in for the real Internet between the scanner's vantage
+// point and the probed hosts (see DESIGN.md §2). Endpoints exchange real
+// encoded datagrams; the fabric only delays, drops, duplicates order, or
+// answers with ICMP Fragmentation Needed — exactly the impairments the
+// paper's methodology must survive (§3.1, §3.5).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "netbase/ipv4.hpp"
+#include "netbase/packet.hpp"
+#include "netsim/event_loop.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::sim {
+
+/// Anything that can receive datagrams at an IP address.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  /// Called when a datagram addressed to this endpoint is delivered.
+  virtual void handle_packet(const net::Bytes& bytes) = 0;
+};
+
+/// Impairment model for one path (scanner ↔ host).
+struct PathConfig {
+  SimTime latency = msec(20);        // one-way propagation delay
+  SimTime jitter = SimTime::zero();  // uniform extra delay in [0, jitter]
+  double loss_rate = 0.0;            // i.i.d. per-packet drop probability
+  double reorder_rate = 0.0;         // probability of extra delay → reorder
+  SimTime reorder_delay = msec(5);   // extra delay applied to reordered packets
+  double duplicate_rate = 0.0;       // probability a packet arrives twice
+  SimTime duplicate_delay = msec(2); // extra delay of the duplicate copy
+  std::uint32_t path_mtu = 1500;     // smallest MTU along the path
+};
+
+struct NetworkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t packets_reordered = 0;
+  std::uint64_t packets_duplicated = 0;
+  std::uint64_t packets_unroutable = 0;
+  std::uint64_t icmp_frag_needed = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  /// `resolver` is consulted for destinations with no attached endpoint —
+  /// the lazy-instantiation hook used by the Internet model to materialize
+  /// hosts only when a probe first reaches them. It may return nullptr
+  /// (address unreachable; the packet is silently dropped, as on the real
+  /// Internet where the scanner just times out).
+  using Resolver = std::function<Endpoint*(net::IPv4Address)>;
+
+  Network(EventLoop& loop, std::uint64_t seed) : loop_(loop), rng_(seed) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  void attach(net::IPv4Address addr, Endpoint* endpoint) { endpoints_[addr] = endpoint; }
+  void detach(net::IPv4Address addr) { endpoints_.erase(addr); }
+  [[nodiscard]] bool attached(net::IPv4Address addr) const {
+    return endpoints_.contains(addr);
+  }
+
+  void set_resolver(Resolver resolver) { resolver_ = std::move(resolver); }
+
+  /// Deterministic fault injection for tests: invoked for every packet
+  /// before impairments; returning false drops it (counted as lost).
+  using Filter = std::function<bool(const net::Bytes&)>;
+  void set_filter(Filter filter) { filter_ = std::move(filter); }
+
+  /// Wire tap (see PacketCapture): observes every packet at injection
+  /// time, before any impairment — the sender-side vantage point.
+  using Tap = std::function<void(const net::Bytes&)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  void set_default_path(const PathConfig& config) { default_path_ = config; }
+  [[nodiscard]] const PathConfig& default_path() const noexcept { return default_path_; }
+
+  /// Per-destination path override (keyed by the non-scanner endpoint).
+  void set_path(net::IPv4Address addr, const PathConfig& config) {
+    paths_[addr] = config;
+  }
+  void clear_path(net::IPv4Address addr) { paths_.erase(addr); }
+
+  /// Inject a datagram into the fabric. Routing uses the IP header's
+  /// destination; impairments use the path keyed by the *remote* side
+  /// (destination for scanner→host, source for host→scanner — the same
+  /// path object, so loss is symmetric per host as on one Internet path).
+  void send(net::Bytes bytes);
+
+  [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+
+ private:
+  [[nodiscard]] const PathConfig& path_for(net::IPv4Address remote) const;
+  void deliver(SimTime delay, net::IPv4Address destination, net::Bytes bytes);
+  void send_frag_needed(net::IPv4Address original_src, net::IPv4Address original_dst,
+                        std::uint32_t next_hop_mtu, const net::Bytes& original);
+
+  EventLoop& loop_;
+  util::Rng rng_;
+  std::unordered_map<net::IPv4Address, Endpoint*> endpoints_;
+  std::unordered_map<net::IPv4Address, PathConfig> paths_;
+  PathConfig default_path_;
+  Resolver resolver_;
+  Filter filter_;
+  Tap tap_;
+  NetworkStats stats_;
+};
+
+}  // namespace iwscan::sim

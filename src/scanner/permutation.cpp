@@ -1,0 +1,44 @@
+#include "scanner/permutation.hpp"
+
+#include <bit>
+
+#include "util/rng.hpp"
+
+namespace iwscan::scan {
+
+RandomPermutation::RandomPermutation(std::uint64_t domain_size, std::uint64_t seed)
+    : domain_(domain_size == 0 ? 1 : domain_size) {
+  // Smallest even-bit-width power of two ≥ domain, so the Feistel halves
+  // are equal and cycle-walking terminates quickly (< 4 walks expected).
+  int bits = std::bit_width(domain_ - 1);
+  if (bits < 2) bits = 2;
+  if (bits % 2 != 0) ++bits;
+  half_bits_ = bits / 2;
+  half_mask_ = (std::uint64_t{1} << half_bits_) - 1;
+
+  std::uint64_t sm = seed ^ 0xfe157e1fe15737a1ULL;
+  for (auto& key : round_keys_) key = util::splitmix64(sm);
+}
+
+std::uint64_t RandomPermutation::feistel(std::uint64_t value) const noexcept {
+  std::uint64_t left = value >> half_bits_;
+  std::uint64_t right = value & half_mask_;
+  for (const std::uint64_t key : round_keys_) {
+    const std::uint64_t mixed = util::mix64(key, right) & half_mask_;
+    const std::uint64_t new_right = left ^ mixed;
+    left = right;
+    right = new_right;
+  }
+  return (left << half_bits_) | right;
+}
+
+std::uint64_t RandomPermutation::permute(std::uint64_t index) const noexcept {
+  // Cycle-walking: re-encrypt until the image lands inside the domain.
+  // Terminates because feistel() is a bijection on the covering power of
+  // two, so the walk is a permutation cycle that must re-enter the domain.
+  std::uint64_t value = feistel(index);
+  while (value >= domain_) value = feistel(value);
+  return value;
+}
+
+}  // namespace iwscan::scan

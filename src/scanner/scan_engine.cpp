@@ -1,0 +1,124 @@
+#include "scanner/scan_engine.hpp"
+
+#include "util/logging.hpp"
+
+namespace iwscan::scan {
+
+ScanEngine::ScanEngine(sim::Network& network, EngineConfig config,
+                       TargetGenerator targets, ProbeModule& module)
+    : network_(network),
+      config_(config),
+      targets_(std::move(targets)),
+      module_(module),
+      rng_(util::mix64(config.seed, 0x5ca93f0c)) {}
+
+ScanEngine::~ScanEngine() {
+  network_.loop().cancel(pace_event_);
+  network_.loop().cancel(reap_event_);
+  if (network_.attached(config_.scanner_address)) {
+    network_.detach(config_.scanner_address);
+  }
+}
+
+void ScanEngine::start() {
+  started_ = true;
+  stats_.started_at = network_.loop().now();
+  network_.attach(config_.scanner_address, this);
+  next_send_time_ = network_.loop().now();
+  pace();
+}
+
+void ScanEngine::pace() {
+  pace_event_ = sim::kNullEvent;
+  if (targets_exhausted_) return;
+
+  const auto interval = sim::SimTime{
+      static_cast<std::int64_t>(1e9 / (config_.rate_pps > 0 ? config_.rate_pps : 1.0))};
+
+  if (sessions_.size() >= config_.max_outstanding) {
+    // Backpressure: per-connection state is bounded (the lightweight-state
+    // design of §3.4); retry this slot shortly.
+    pace_event_ = network_.loop().schedule(interval, [this] { pace(); });
+    return;
+  }
+
+  launch_next_target();
+  if (!targets_exhausted_) {
+    pace_event_ = network_.loop().schedule(interval, [this] { pace(); });
+  }
+}
+
+void ScanEngine::launch_next_target() {
+  const auto target = targets_.next();
+  if (!target) {
+    targets_exhausted_ = true;
+    if (done()) {
+      stats_.finished_at = network_.loop().now();
+      if (on_complete_ && !complete_notified_) {
+        complete_notified_ = true;
+        on_complete_();
+      }
+    }
+    return;
+  }
+  ++stats_.targets_started;
+  auto session = module_.create_session(*this, *target,
+                                        [this, t = *target] { finish_session(t); });
+  auto [it, inserted] = sessions_.emplace(*target, std::move(session));
+  if (!inserted) {
+    // Duplicate target (overlapping allowlist); replace and run anyway.
+    it->second = module_.create_session(*this, *target,
+                                        [this, t = *target] { finish_session(t); });
+  }
+  it->second->start();
+}
+
+void ScanEngine::finish_session(net::IPv4Address target) {
+  auto node = sessions_.extract(target);
+  if (node.empty()) return;
+  // The session is likely on the call stack; free it on the next tick.
+  graveyard_.push_back(std::move(node.mapped()));
+  if (reap_event_ == sim::kNullEvent) {
+    reap_event_ = network_.loop().schedule(sim::SimTime::zero(), [this] {
+      reap_event_ = sim::kNullEvent;
+      graveyard_.clear();
+    });
+  }
+  ++stats_.targets_finished;
+  if (done()) {
+    stats_.finished_at = network_.loop().now();
+    if (on_complete_ && !complete_notified_) {
+      complete_notified_ = true;
+      on_complete_();
+    }
+  }
+}
+
+void ScanEngine::handle_packet(const net::Bytes& bytes) {
+  ++stats_.packets_received;
+  const auto datagram = net::decode_datagram(bytes);
+  if (!datagram) {
+    ++stats_.stray_packets;
+    return;
+  }
+  const net::IPv4Address source = std::visit(
+      [](const auto& d) { return d.ip.src; }, *datagram);
+  const auto it = sessions_.find(source);
+  if (it == sessions_.end()) {
+    ++stats_.stray_packets;
+    return;
+  }
+  it->second->on_datagram(*datagram);
+}
+
+void ScanEngine::send_packet(net::Bytes bytes) {
+  ++stats_.packets_sent;
+  network_.send(std::move(bytes));
+}
+
+std::uint16_t ScanEngine::allocate_port() {
+  if (next_port_ >= 61000) next_port_ = 32768;
+  return next_port_++;
+}
+
+}  // namespace iwscan::scan

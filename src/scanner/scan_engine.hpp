@@ -1,0 +1,136 @@
+// ZMap-style scan engine extended with per-connection state.
+//
+// Stock ZMap is built around a single stateless packet exchange per target;
+// the paper's key engineering contribution (§3.4) is a probe-module design
+// that keeps lightweight per-connection state so full TCP conversations
+// can ride on the same high-rate architecture. This engine reproduces that
+// split: a paced target iterator (send side) plus a demultiplexer that
+// routes replies to per-host sessions (receive side).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "netbase/packet.hpp"
+#include "netsim/network.hpp"
+#include "scanner/targets.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::scan {
+
+class ScanEngine;
+
+/// Services a probe session uses to interact with the world.
+class SessionServices {
+ public:
+  virtual ~SessionServices() = default;
+  virtual void send_packet(net::Bytes bytes) = 0;
+  [[nodiscard]] virtual sim::EventLoop& loop() = 0;
+  [[nodiscard]] virtual net::IPv4Address scanner_address() const = 0;
+  /// Fresh ephemeral source port, unique per allocation within the scan.
+  [[nodiscard]] virtual std::uint16_t allocate_port() = 0;
+  /// Deterministic per-session randomness.
+  [[nodiscard]] virtual std::uint64_t session_seed() = 0;
+};
+
+/// One in-flight target conversation. Created by a ProbeModule; must call
+/// ScanEngine-provided `finish` (passed at creation) exactly once.
+class ProbeSession {
+ public:
+  virtual ~ProbeSession() = default;
+  /// Send the first probe packet(s).
+  virtual void start() = 0;
+  /// A datagram from this session's target arrived.
+  virtual void on_datagram(const net::Datagram& datagram) = 0;
+};
+
+/// Factory + result sink for a scan type (SYN scan, ICMP MTU, IW probe…).
+class ProbeModule {
+ public:
+  virtual ~ProbeModule() = default;
+  /// `finish` must be invoked exactly once when the session completes; the
+  /// engine then releases the session (possibly immediately — the session
+  /// must not touch its own state afterwards).
+  virtual std::unique_ptr<ProbeSession> create_session(
+      SessionServices& services, net::IPv4Address target,
+      std::function<void()> finish) = 0;
+};
+
+struct EngineConfig {
+  net::IPv4Address scanner_address{10, 0, 0, 1};
+  double rate_pps = 150'000;      // session starts per second (paper: 150 kpps)
+  std::size_t max_outstanding = 10'000;
+  std::uint64_t seed = 1;
+};
+
+struct EngineStats {
+  std::uint64_t targets_started = 0;
+  std::uint64_t targets_finished = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_received = 0;
+  std::uint64_t stray_packets = 0;  // no matching session
+  sim::SimTime started_at{};
+  sim::SimTime finished_at{};
+};
+
+class ScanEngine final : public sim::Endpoint, public SessionServices {
+ public:
+  ScanEngine(sim::Network& network, EngineConfig config, TargetGenerator targets,
+             ProbeModule& module);
+  ~ScanEngine() override;
+
+  ScanEngine(const ScanEngine&) = delete;
+  ScanEngine& operator=(const ScanEngine&) = delete;
+
+  /// Attach to the network and begin pacing. Completion is observable via
+  /// done() once the event loop drains (or via on_complete).
+  void start();
+
+  void set_on_complete(std::function<void()> callback) {
+    on_complete_ = std::move(callback);
+  }
+
+  [[nodiscard]] bool done() const noexcept {
+    return started_ && targets_exhausted_ && sessions_.empty();
+  }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+  // sim::Endpoint
+  void handle_packet(const net::Bytes& bytes) override;
+
+  // SessionServices
+  void send_packet(net::Bytes bytes) override;
+  [[nodiscard]] sim::EventLoop& loop() override { return network_.loop(); }
+  [[nodiscard]] net::IPv4Address scanner_address() const override {
+    return config_.scanner_address;
+  }
+  [[nodiscard]] std::uint16_t allocate_port() override;
+  [[nodiscard]] std::uint64_t session_seed() override { return rng_(); }
+
+ private:
+  void pace();
+  void launch_next_target();
+  void finish_session(net::IPv4Address target);
+
+  sim::Network& network_;
+  EngineConfig config_;
+  TargetGenerator targets_;
+  ProbeModule& module_;
+  util::Rng rng_;
+
+  std::unordered_map<net::IPv4Address, std::unique_ptr<ProbeSession>> sessions_;
+  std::vector<std::unique_ptr<ProbeSession>> graveyard_;
+  sim::EventId reap_event_ = sim::kNullEvent;
+  sim::EventId pace_event_ = sim::kNullEvent;
+  sim::SimTime next_send_time_{};
+  std::uint16_t next_port_ = 32768;
+  bool started_ = false;
+  bool targets_exhausted_ = false;
+  bool complete_notified_ = false;
+  std::function<void()> on_complete_;
+  EngineStats stats_;
+};
+
+}  // namespace iwscan::scan

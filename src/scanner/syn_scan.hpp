@@ -1,0 +1,45 @@
+// Stock-ZMap-style single-exchange SYN port scan.
+//
+// Serves two purposes: the reachability pre-scan the paper's numbers are
+// based on ("we can successfully exchange data with ≈48.3 M hosts on port
+// 80"), and the single-packet baseline against which §3.4 compares the
+// multi-packet IW scan's efficiency (bench_s34_scan_rate).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "netsim/event_loop.hpp"
+#include "scanner/scan_engine.hpp"
+
+namespace iwscan::scan {
+
+enum class PortState { Open, Closed, Unresponsive };
+
+struct SynScanResult {
+  net::IPv4Address ip;
+  PortState state = PortState::Unresponsive;
+};
+
+struct SynScanConfig {
+  std::uint16_t port = 80;
+  sim::SimTime timeout = sim::sec(8);
+};
+
+class SynScanModule final : public ProbeModule {
+ public:
+  using ResultFn = std::function<void(const SynScanResult&)>;
+
+  SynScanModule(SynScanConfig config, ResultFn on_result)
+      : config_(config), on_result_(std::move(on_result)) {}
+
+  std::unique_ptr<ProbeSession> create_session(SessionServices& services,
+                                               net::IPv4Address target,
+                                               std::function<void()> finish) override;
+
+ private:
+  SynScanConfig config_;
+  ResultFn on_result_;
+};
+
+}  // namespace iwscan::scan

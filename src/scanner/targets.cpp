@@ -1,0 +1,97 @@
+#include "scanner/targets.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace iwscan::scan {
+
+std::vector<net::Cidr> parse_cidr_list(std::string_view text,
+                                       std::vector<std::string>* errors) {
+  std::vector<net::Cidr> list;
+  for (const auto raw_line : util::split(text, '\n')) {
+    std::string_view line = raw_line;
+    if (const std::size_t hash = line.find('#'); hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = util::trim(line);
+    if (line.empty()) continue;
+    if (const auto cidr = net::Cidr::parse(line)) {
+      list.push_back(*cidr);
+    } else if (errors != nullptr) {
+      errors->emplace_back(line);
+    }
+  }
+  return list;
+}
+
+namespace {
+std::uint64_t total_size(const std::vector<net::Cidr>& blocks) {
+  std::uint64_t total = 0;
+  for (const auto& block : blocks) total += block.size();
+  return total == 0 ? 1 : total;
+}
+}  // namespace
+
+TargetGenerator::TargetGenerator(std::vector<net::Cidr> allow,
+                                 std::vector<net::Cidr> block, std::uint64_t seed,
+                                 double sample_fraction, std::uint64_t shard,
+                                 std::uint64_t total_shards)
+    : allow_(std::move(allow)),
+      block_(std::move(block)),
+      total_(total_size(allow_)),
+      permutation_(total_, seed),
+      iterator_(permutation_, shard, total_shards),
+      sample_seed_(util::mix64(seed, 0x5a3b7e11)),
+      sample_fraction_(sample_fraction) {
+  cumulative_.reserve(allow_.size());
+  std::uint64_t running = 0;
+  for (const auto& cidr : allow_) {
+    running += cidr.size();
+    cumulative_.push_back(running);
+  }
+}
+
+net::IPv4Address TargetGenerator::index_to_address(std::uint64_t index) const noexcept {
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), index);
+  const std::size_t block_idx = static_cast<std::size_t>(it - cumulative_.begin());
+  const std::uint64_t before = block_idx == 0 ? 0 : cumulative_[block_idx - 1];
+  return allow_[block_idx].at(index - before);
+}
+
+bool TargetGenerator::blocked(net::IPv4Address addr) const noexcept {
+  for (const auto& cidr : block_) {
+    if (cidr.contains(addr)) return true;
+  }
+  return false;
+}
+
+std::optional<net::IPv4Address> TargetGenerator::next() {
+  if (allow_.empty()) return std::nullopt;
+  std::uint64_t index = 0;
+  while (iterator_.next(index)) {
+    const net::IPv4Address addr = index_to_address(index);
+    if (blocked(addr)) {
+      ++skipped_blocked_;
+      continue;
+    }
+    if (sample_fraction_ < 1.0) {
+      // Deterministic per-address coin: the same 1% sample is drawn on
+      // every run with the same seed (and across shards).
+      const double coin =
+          static_cast<double>(util::mix64(sample_seed_, addr.value()) >> 11) *
+          0x1.0p-53;
+      if (coin >= sample_fraction_) {
+        ++skipped_sampled_out_;
+        continue;
+      }
+    }
+    ++emitted_;
+    return addr;
+  }
+  return std::nullopt;
+}
+
+}  // namespace iwscan::scan

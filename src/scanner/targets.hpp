@@ -1,0 +1,64 @@
+// Scan target generation: an allowlist of CIDR blocks minus a blocklist,
+// visited in pseudorandom permutation order (the ZMap model: blocklisted
+// and unroutable prefixes are never probed, the rest is shuffled).
+//
+// Sampling support (take a random p-fraction of the space) implements the
+// paper's 1 %-subsample scans (§4.1 "Scanning 1% is enough!").
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netbase/ipv4.hpp"
+#include "scanner/permutation.hpp"
+
+namespace iwscan::scan {
+
+/// Parse a ZMap-style blocklist/allowlist: one CIDR (or bare address) per
+/// line, '#' comments, blank lines ignored. Malformed lines are collected
+/// into `errors` (if non-null) and skipped — a scan must not silently probe
+/// a network someone tried to exclude, so callers should surface errors.
+[[nodiscard]] std::vector<net::Cidr> parse_cidr_list(
+    std::string_view text, std::vector<std::string>* errors = nullptr);
+
+class TargetGenerator {
+ public:
+  /// `allow` may overlap; duplicates are visited twice (callers pass
+  /// disjoint blocks in practice). `sample_fraction` in (0,1] keeps each
+  /// address independently with that probability (deterministic in seed).
+  TargetGenerator(std::vector<net::Cidr> allow, std::vector<net::Cidr> block,
+                  std::uint64_t seed, double sample_fraction = 1.0,
+                  std::uint64_t shard = 0, std::uint64_t total_shards = 1);
+
+  /// Next target, or nullopt when the space is exhausted.
+  [[nodiscard]] std::optional<net::IPv4Address> next();
+
+  /// Total addresses in the allowlist (before blocklist/sampling).
+  [[nodiscard]] std::uint64_t address_space_size() const noexcept { return total_; }
+
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  [[nodiscard]] std::uint64_t skipped_blocked() const noexcept {
+    return skipped_blocked_;
+  }
+  [[nodiscard]] std::uint64_t skipped_sampled_out() const noexcept {
+    return skipped_sampled_out_;
+  }
+
+ private:
+  [[nodiscard]] net::IPv4Address index_to_address(std::uint64_t index) const noexcept;
+  [[nodiscard]] bool blocked(net::IPv4Address addr) const noexcept;
+
+  std::vector<net::Cidr> allow_;
+  std::vector<std::uint64_t> cumulative_;  // prefix sums of block sizes
+  std::vector<net::Cidr> block_;
+  std::uint64_t total_ = 0;
+  RandomPermutation permutation_;
+  PermutationIterator iterator_;
+  std::uint64_t sample_seed_;
+  double sample_fraction_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t skipped_blocked_ = 0;
+  std::uint64_t skipped_sampled_out_ = 0;
+};
+
+}  // namespace iwscan::scan

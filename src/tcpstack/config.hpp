@@ -1,0 +1,83 @@
+// Host TCP stack configuration: OS MSS-clamping profiles and initial-window
+// policies.
+//
+// These knobs span every sender behaviour the paper observes in the wild:
+//   * segment-counted IWs (RFC 2001/2414/3390/6928: 1, 2, 4, 10, vendor
+//     values like 25, 48, 64),
+//   * byte-counted IWs (§4.2: hosts that always send ~4 kB — Technicolor
+//     modems at Telmex — so 64 segments at MSS 64 but 32 at MSS 128),
+//   * MTU-fill IWs (§4.2: hosts summing to 1536 B: 24 segments at MSS 64,
+//     12 at MSS 128),
+//   * OS minimum-MSS rules (§3.1: Linux rejects MSS < 64; all tested
+//     Windows variants fall back to 536 when the announced MSS is smaller).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "netsim/event_loop.hpp"
+
+namespace iwscan::tcp {
+
+enum class OsProfile {
+  Linux,    // accepts MSS >= 64; below that clamps to 64
+  Windows,  // announced MSS < 536 → uses 536
+  Permissive,  // uses whatever the peer announces (>= 1)
+};
+
+/// Effective segment size a host uses toward a peer that announced
+/// `announced_mss`, given the host's own upper limit (interface MTU - 40).
+[[nodiscard]] constexpr std::uint16_t effective_mss(OsProfile os,
+                                                    std::uint16_t announced_mss,
+                                                    std::uint16_t own_limit) noexcept {
+  std::uint16_t mss = announced_mss;
+  switch (os) {
+    case OsProfile::Linux:
+      mss = std::max<std::uint16_t>(mss, 64);
+      break;
+    case OsProfile::Windows:
+      if (mss < 536) mss = 536;
+      break;
+    case OsProfile::Permissive:
+      mss = std::max<std::uint16_t>(mss, 1);
+      break;
+  }
+  return std::min(mss, own_limit);
+}
+
+enum class IwPolicy {
+  Segments,  // cwnd_0 = segments × MSS (the RFC family and vendor variants)
+  Bytes,     // cwnd_0 = fixed byte budget regardless of MSS (§4.2 hosts)
+};
+
+struct IwConfig {
+  IwPolicy policy = IwPolicy::Segments;
+  std::uint32_t segments = 10;  // used when policy == Segments
+  std::uint32_t bytes = 4096;   // used when policy == Bytes
+
+  [[nodiscard]] constexpr std::uint32_t initial_cwnd(std::uint16_t mss) const noexcept {
+    if (policy == IwPolicy::Bytes) return std::max(bytes, std::uint32_t{mss});
+    return segments * mss;
+  }
+
+  [[nodiscard]] static constexpr IwConfig segments_of(std::uint32_t n) noexcept {
+    return IwConfig{IwPolicy::Segments, n, 0};
+  }
+  [[nodiscard]] static constexpr IwConfig bytes_of(std::uint32_t n) noexcept {
+    return IwConfig{IwPolicy::Bytes, 0, n};
+  }
+};
+
+struct StackConfig {
+  OsProfile os = OsProfile::Linux;
+  IwConfig iw = IwConfig::segments_of(10);
+  std::uint16_t own_mss_limit = 1460;  // own interface MTU - 40
+  std::uint16_t advertised_window = 65535;
+  sim::SimTime rto_initial = sim::sec(1);  // Linux default initial RTO
+  sim::SimTime rto_max = sim::sec(60);
+  int max_retransmits = 5;
+  sim::SimTime idle_timeout = sim::sec(30);
+  bool reset_on_closed_port = true;  // false = silently drop (filtered)
+};
+
+}  // namespace iwscan::tcp

@@ -1,0 +1,124 @@
+#include "tcpstack/host.hpp"
+
+#include <utility>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::tcp {
+
+TcpHost::TcpHost(sim::Network& network, net::IPv4Address address, StackConfig config,
+                 std::uint64_t seed)
+    : network_(network), address_(address), config_(config), seed_(seed) {}
+
+TcpHost::~TcpHost() {
+  if (reap_event_ != sim::kNullEvent) network_.loop().cancel(reap_event_);
+}
+
+void TcpHost::listen(std::uint16_t port, AppFactory factory,
+                     std::optional<StackConfig> config_override) {
+  listeners_[port] = Listener{std::move(factory), std::move(config_override)};
+}
+
+void TcpHost::close_port(std::uint16_t port) { listeners_.erase(port); }
+
+void TcpHost::handle_packet(const net::Bytes& bytes) {
+  const auto datagram = net::decode_datagram(bytes);
+  if (!datagram) return;  // corrupt on the wire; real stacks drop silently
+  if (const auto* tcp = std::get_if<net::TcpSegment>(&*datagram)) {
+    if (tcp->ip.dst != address_) return;
+    on_tcp(*tcp);
+  } else if (const auto* icmp = std::get_if<net::IcmpDatagram>(&*datagram)) {
+    if (icmp->ip.dst != address_) return;
+    on_icmp(*icmp);
+  }
+}
+
+void TcpHost::on_tcp(const net::TcpSegment& segment) {
+  const ConnKey key{segment.ip.src, segment.tcp.src_port, segment.tcp.dst_port};
+
+  if (const auto it = connections_.find(key); it != connections_.end()) {
+    it->second->on_segment(segment);
+    return;
+  }
+
+  if (segment.tcp.has(net::kSyn) && !segment.tcp.has(net::kAck)) {
+    const auto listener = listeners_.find(segment.tcp.dst_port);
+    if (listener == listeners_.end()) {
+      if (config_.reset_on_closed_port) send_reset_for(segment);
+      return;
+    }
+    auto app = listener->second.factory(segment.ip.src, segment.tcp.src_port);
+    const StackConfig& conn_config =
+        listener->second.config_override.value_or(config_);
+    // ISN derived deterministically from the 4-tuple; good enough for a
+    // simulation (no off-path attacker to defend against).
+    const std::uint32_t isn = static_cast<std::uint32_t>(util::mix64(
+        seed_, (std::uint64_t{segment.ip.src.value()} << 32) |
+                   (std::uint64_t{segment.tcp.src_port} << 16) | segment.tcp.dst_port));
+    auto connection = std::make_unique<TcpConnection>(
+        network_.loop(), conn_config, address_, segment.tcp.dst_port, segment.ip.src,
+        segment.tcp.src_port, segment, isn, std::move(app),
+        [this](net::TcpSegment&& out) { transmit(std::move(out)); },
+        [this, key](TcpConnection&) {
+          // Move to the graveyard; the connection may be deep in its own
+          // call stack right now.
+          if (auto node = connections_.extract(key); !node.empty()) {
+            graveyard_.push_back(std::move(node.mapped()));
+            if (reap_event_ == sim::kNullEvent) {
+              reap_event_ = network_.loop().schedule(sim::SimTime::zero(),
+                                                     [this] { reap_graveyard(); });
+            }
+          }
+        });
+    connections_.emplace(key, std::move(connection));
+    return;
+  }
+
+  // Non-SYN segment for an unknown connection (e.g. late packet after the
+  // connection aborted): answer with RST as real stacks do.
+  if (!segment.tcp.has(net::kRst)) send_reset_for(segment);
+}
+
+void TcpHost::send_reset_for(const net::TcpSegment& offending) {
+  net::TcpSegment rst;
+  rst.ip.src = address_;
+  rst.ip.dst = offending.ip.src;
+  rst.ip.ttl = 64;
+  rst.tcp.src_port = offending.tcp.dst_port;
+  rst.tcp.dst_port = offending.tcp.src_port;
+  if (offending.tcp.has(net::kAck)) {
+    rst.tcp.seq = offending.tcp.ack;
+    rst.tcp.flags = net::kRst;
+  } else {
+    rst.tcp.seq = 0;
+    rst.tcp.ack = offending.tcp.seq + offending.seq_length();
+    rst.tcp.flags = net::kRst | net::kAck;
+  }
+  transmit(std::move(rst));
+}
+
+void TcpHost::on_icmp(const net::IcmpDatagram& datagram) {
+  if (!icmp_echo_ || datagram.icmp.type != net::IcmpType::Echo) return;
+  net::IcmpDatagram reply;
+  reply.ip.src = address_;
+  reply.ip.dst = datagram.ip.src;
+  reply.ip.ttl = 64;
+  reply.icmp.type = net::IcmpType::EchoReply;
+  reply.icmp.code = 0;
+  reply.icmp.id_or_unused = datagram.icmp.id_or_unused;
+  reply.icmp.seq_or_mtu = datagram.icmp.seq_or_mtu;
+  reply.icmp.payload = datagram.icmp.payload;
+  network_.send(net::encode(reply));
+}
+
+void TcpHost::transmit(net::TcpSegment&& segment) {
+  network_.send(net::encode(segment));
+}
+
+void TcpHost::reap_graveyard() {
+  reap_event_ = sim::kNullEvent;
+  graveyard_.clear();
+}
+
+}  // namespace iwscan::tcp

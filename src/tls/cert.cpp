@@ -1,0 +1,58 @@
+#include "tls/cert.hpp"
+
+#include <algorithm>
+
+namespace iwscan::tls {
+
+net::Bytes make_certificate(std::size_t size, std::string_view subject,
+                            std::uint64_t seed) {
+  size = std::max<std::size_t>(size, 8);
+  net::Bytes cert;
+  cert.reserve(size);
+
+  // DER outer frame: SEQUENCE (0x30) with definite long-form length so the
+  // blob passes casual "is this DER?" inspection.
+  const std::size_t content_len = size - 4;
+  cert.push_back(0x30);
+  cert.push_back(0x82);  // length in next two bytes
+  cert.push_back(static_cast<std::uint8_t>(content_len >> 8));
+  cert.push_back(static_cast<std::uint8_t>(content_len));
+
+  // Embed the subject for debuggability, then deterministic filler.
+  const std::size_t tag_len = std::min(subject.size(), size - cert.size());
+  cert.insert(cert.end(), subject.begin(), subject.begin() + tag_len);
+
+  util::Rng rng(util::mix64(seed, size));
+  while (cert.size() < size) {
+    cert.push_back(static_cast<std::uint8_t>(rng() & 0xff));
+  }
+  return cert;
+}
+
+CertificateChain make_chain(std::size_t total_bytes, std::string_view subject,
+                            std::uint64_t seed) {
+  total_bytes = std::max<std::size_t>(total_bytes, 8);
+  CertificateChain chain;
+
+  // Realistic splits: small totals are a lone (often self-signed) leaf;
+  // mid-size chains are leaf + one intermediate; large ones add a second
+  // intermediate. The leaf takes ~55% of the bytes, as in typical chains.
+  if (total_bytes < 1200) {
+    chain.certificates.push_back(make_certificate(total_bytes, subject, seed));
+    return chain;
+  }
+  const int intermediates = total_bytes >= 4200 ? 2 : 1;
+  const std::size_t leaf = total_bytes * 55 / 100;
+  std::size_t remaining = total_bytes - leaf;
+  chain.certificates.push_back(make_certificate(leaf, subject, seed));
+  for (int i = 0; i < intermediates; ++i) {
+    const std::size_t piece =
+        i + 1 == intermediates ? remaining : remaining / 2;
+    chain.certificates.push_back(
+        make_certificate(piece, "intermediate-ca", util::mix64(seed, 1000 + i)));
+    remaining -= piece;
+  }
+  return chain;
+}
+
+}  // namespace iwscan::tls

@@ -1,0 +1,27 @@
+// Synthetic certificate generation.
+//
+// The scan only measures *bytes on the wire*, never validates trust, so the
+// certificates are deterministic DER-shaped blobs (valid outer SEQUENCE
+// framing, pseudo-random body) whose sizes follow the censys.io chain-length
+// statistics the paper reports (Fig. 2): mean 2186 B, min 36 B, max 65 kB.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "tls/handshake.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::tls {
+
+/// One DER-shaped certificate of exactly `size` bytes (size ≥ 8), with
+/// subject/issuer hints embedded for debuggability.
+[[nodiscard]] net::Bytes make_certificate(std::size_t size, std::string_view subject,
+                                          std::uint64_t seed);
+
+/// A chain whose total_certificate_bytes() equals `total_bytes`, split into
+/// a realistic leaf + intermediate(s) layout. total_bytes ≥ 8.
+[[nodiscard]] CertificateChain make_chain(std::size_t total_bytes,
+                                          std::string_view subject, std::uint64_t seed);
+
+}  // namespace iwscan::tls

@@ -1,0 +1,239 @@
+#include "tls/handshake.hpp"
+
+namespace iwscan::tls {
+namespace {
+
+constexpr std::uint16_t kExtServerName = 0;
+constexpr std::uint16_t kExtStatusRequest = 5;
+constexpr std::uint16_t kExtSupportedGroups = 10;
+constexpr std::uint16_t kExtEcPointFormats = 11;
+constexpr std::uint16_t kExtSignatureAlgorithms = 13;
+
+void write_extension(net::WireWriter& writer, std::uint16_t type,
+                     std::span<const std::uint8_t> data) {
+  writer.u16(type);
+  writer.u16(static_cast<std::uint16_t>(data.size()));
+  writer.raw(data);
+}
+
+}  // namespace
+
+net::Bytes encode_handshake(HandshakeType type, std::span<const std::uint8_t> body) {
+  net::Bytes out;
+  out.reserve(4 + body.size());
+  net::WireWriter writer(out);
+  writer.u8(static_cast<std::uint8_t>(type));
+  writer.u24(static_cast<std::uint32_t>(body.size()));
+  writer.raw(body);
+  return out;
+}
+
+std::optional<std::vector<HandshakeMessage>> split_handshakes(
+    std::span<const std::uint8_t> payload) {
+  std::vector<HandshakeMessage> messages;
+  net::WireReader reader(payload);
+  while (reader.remaining() > 0) {
+    if (reader.remaining() < 4) return std::nullopt;
+    const auto type = static_cast<HandshakeType>(reader.u8());
+    const std::uint32_t length = reader.u24();
+    if (length > reader.remaining()) return std::nullopt;
+    const auto body = reader.raw(length);
+    messages.push_back(HandshakeMessage{type, net::Bytes(body.begin(), body.end())});
+  }
+  return messages;
+}
+
+net::Bytes ClientHello::encode() const {
+  net::Bytes out;
+  net::WireWriter writer(out);
+  writer.u16(version);
+  writer.raw(std::span<const std::uint8_t>(random));
+  writer.u8(static_cast<std::uint8_t>(session_id.size()));
+  writer.raw(session_id);
+  writer.u16(static_cast<std::uint16_t>(cipher_suites.size() * 2));
+  for (const CipherSuite suite : cipher_suites) writer.u16(suite);
+  writer.u8(static_cast<std::uint8_t>(compression_methods.size()));
+  for (const std::uint8_t method : compression_methods) writer.u8(method);
+
+  // Extensions block.
+  net::Bytes extensions;
+  net::WireWriter ext(extensions);
+  if (server_name) {
+    net::Bytes sni;
+    net::WireWriter sni_writer(sni);
+    sni_writer.u16(static_cast<std::uint16_t>(server_name->size() + 3));
+    sni_writer.u8(0);  // host_name
+    sni_writer.u16(static_cast<std::uint16_t>(server_name->size()));
+    sni_writer.raw(*server_name);
+    write_extension(ext, kExtServerName, sni);
+  }
+  if (ocsp_stapling) {
+    net::Bytes status;
+    net::WireWriter status_writer(status);
+    status_writer.u8(1);   // status_type = ocsp
+    status_writer.u16(0);  // responder_id_list
+    status_writer.u16(0);  // request_extensions
+    write_extension(ext, kExtStatusRequest, status);
+  }
+  {
+    // supported_groups: x25519, secp256r1, secp384r1
+    net::Bytes groups;
+    net::WireWriter groups_writer(groups);
+    groups_writer.u16(6);
+    groups_writer.u16(0x001d);
+    groups_writer.u16(0x0017);
+    groups_writer.u16(0x0018);
+    write_extension(ext, kExtSupportedGroups, groups);
+  }
+  {
+    // ec_point_formats: uncompressed
+    const net::Bytes formats{0x01, 0x00};
+    write_extension(ext, kExtEcPointFormats, formats);
+  }
+  {
+    // signature_algorithms: a typical browser set
+    net::Bytes algorithms;
+    net::WireWriter algorithms_writer(algorithms);
+    const std::uint16_t algos[] = {0x0403, 0x0503, 0x0603, 0x0401,
+                                   0x0501, 0x0601, 0x0201};
+    algorithms_writer.u16(static_cast<std::uint16_t>(sizeof(algos) / 2 * 2));
+    for (const std::uint16_t algo : algos) algorithms_writer.u16(algo);
+    write_extension(ext, kExtSignatureAlgorithms, algorithms);
+  }
+  writer.u16(static_cast<std::uint16_t>(extensions.size()));
+  writer.raw(extensions);
+  return out;
+}
+
+std::optional<ClientHello> ClientHello::decode(std::span<const std::uint8_t> body) {
+  net::WireReader reader(body);
+  ClientHello hello;
+  hello.version = reader.u16();
+  const auto random = reader.raw(32);
+  if (!reader.ok()) return std::nullopt;
+  std::copy(random.begin(), random.end(), hello.random.begin());
+
+  const std::uint8_t session_len = reader.u8();
+  const auto session = reader.raw(session_len);
+  hello.session_id.assign(session.begin(), session.end());
+
+  const std::uint16_t cipher_bytes = reader.u16();
+  if (cipher_bytes % 2 != 0) return std::nullopt;
+  hello.cipher_suites.clear();
+  for (int i = 0; i < cipher_bytes / 2; ++i) hello.cipher_suites.push_back(reader.u16());
+
+  const std::uint8_t compression_len = reader.u8();
+  const auto compressions = reader.raw(compression_len);
+  hello.compression_methods.assign(compressions.begin(), compressions.end());
+  if (!reader.ok()) return std::nullopt;
+
+  if (reader.remaining() >= 2) {
+    const std::uint16_t ext_total = reader.u16();
+    if (ext_total > reader.remaining()) return std::nullopt;
+    net::WireReader ext(reader.raw(ext_total));
+    while (ext.remaining() >= 4) {
+      const std::uint16_t type = ext.u16();
+      const std::uint16_t length = ext.u16();
+      if (length > ext.remaining()) return std::nullopt;
+      net::WireReader data(ext.raw(length));
+      if (type == kExtServerName && length >= 5) {
+        data.u16();  // list length
+        const std::uint8_t name_type = data.u8();
+        const std::uint16_t name_len = data.u16();
+        const auto name = data.raw(name_len);
+        if (data.ok() && name_type == 0) {
+          hello.server_name = std::string(name.begin(), name.end());
+        }
+      } else if (type == kExtStatusRequest) {
+        hello.ocsp_stapling = true;
+      }
+    }
+  }
+  if (!reader.ok()) return std::nullopt;
+  return hello;
+}
+
+net::Bytes ServerHello::encode() const {
+  net::Bytes out;
+  net::WireWriter writer(out);
+  writer.u16(version);
+  writer.raw(std::span<const std::uint8_t>(random));
+  writer.u8(static_cast<std::uint8_t>(session_id.size()));
+  writer.raw(session_id);
+  writer.u16(cipher_suite);
+  writer.u8(compression_method);
+  if (ocsp_stapling || extra_extension_bytes > 0) {
+    net::Bytes extensions;
+    net::WireWriter ext(extensions);
+    if (ocsp_stapling) write_extension(ext, kExtStatusRequest, {});
+    if (extra_extension_bytes > 0) {
+      const net::Bytes padding(extra_extension_bytes, 0);
+      write_extension(ext, 0x0015, padding);  // padding extension (RFC 7685)
+    }
+    writer.u16(static_cast<std::uint16_t>(extensions.size()));
+    writer.raw(extensions);
+  }
+  return out;
+}
+
+std::optional<ServerHello> ServerHello::decode(std::span<const std::uint8_t> body) {
+  net::WireReader reader(body);
+  ServerHello hello;
+  hello.version = reader.u16();
+  const auto random = reader.raw(32);
+  if (!reader.ok()) return std::nullopt;
+  std::copy(random.begin(), random.end(), hello.random.begin());
+  const std::uint8_t session_len = reader.u8();
+  const auto session = reader.raw(session_len);
+  hello.session_id.assign(session.begin(), session.end());
+  hello.cipher_suite = reader.u16();
+  hello.compression_method = reader.u8();
+  if (!reader.ok()) return std::nullopt;
+  if (reader.remaining() >= 2) {
+    const std::uint16_t ext_total = reader.u16();
+    net::WireReader ext(reader.raw(ext_total));
+    while (ext.remaining() >= 4) {
+      const std::uint16_t type = ext.u16();
+      const std::uint16_t length = ext.u16();
+      ext.skip(length);
+      if (type == kExtStatusRequest) hello.ocsp_stapling = true;
+    }
+  }
+  return reader.ok() ? std::optional(hello) : std::nullopt;
+}
+
+std::size_t CertificateChain::total_certificate_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& cert : certificates) total += cert.size();
+  return total;
+}
+
+net::Bytes CertificateChain::encode() const {
+  net::Bytes out;
+  net::WireWriter writer(out);
+  std::size_t list_bytes = 0;
+  for (const auto& cert : certificates) list_bytes += 3 + cert.size();
+  writer.u24(static_cast<std::uint32_t>(list_bytes));
+  for (const auto& cert : certificates) {
+    writer.u24(static_cast<std::uint32_t>(cert.size()));
+    writer.raw(cert);
+  }
+  return out;
+}
+
+std::optional<CertificateChain> CertificateChain::decode(
+    std::span<const std::uint8_t> body) {
+  net::WireReader reader(body);
+  const std::uint32_t list_bytes = reader.u24();
+  if (!reader.ok() || list_bytes != reader.remaining()) return std::nullopt;
+  CertificateChain chain;
+  while (reader.remaining() > 0) {
+    const std::uint32_t cert_len = reader.u24();
+    if (!reader.ok() || cert_len > reader.remaining()) return std::nullopt;
+    const auto cert = reader.raw(cert_len);
+    chain.certificates.emplace_back(cert.begin(), cert.end());
+  }
+  return chain;
+}
+
+}  // namespace iwscan::tls

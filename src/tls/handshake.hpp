@@ -1,0 +1,81 @@
+// TLS 1.2 handshake messages (RFC 5246 §7.4): ClientHello, ServerHello,
+// Certificate, ServerHelloDone, CertificateStatus — the complete first
+// flight the IW scan rides on (§3.3 of the paper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netbase/wire.hpp"
+#include "tls/ciphers.hpp"
+#include "tls/records.hpp"
+
+namespace iwscan::tls {
+
+enum class HandshakeType : std::uint8_t {
+  ClientHello = 1,
+  ServerHello = 2,
+  Certificate = 11,
+  ServerHelloDone = 14,
+  CertificateStatus = 22,
+};
+
+/// Frame a handshake message (type + 24-bit length + body).
+[[nodiscard]] net::Bytes encode_handshake(HandshakeType type,
+                                          std::span<const std::uint8_t> body);
+
+/// Iterate handshake messages inside concatenated handshake payload bytes.
+struct HandshakeMessage {
+  HandshakeType type;
+  net::Bytes body;
+};
+[[nodiscard]] std::optional<std::vector<HandshakeMessage>> split_handshakes(
+    std::span<const std::uint8_t> payload);
+
+struct ClientHello {
+  std::uint16_t version = kTls12;
+  std::array<std::uint8_t, 32> random{};
+  net::Bytes session_id;
+  std::vector<CipherSuite> cipher_suites;
+  std::vector<std::uint8_t> compression_methods{0};
+  std::optional<std::string> server_name;  // SNI
+  bool ocsp_stapling = false;              // status_request extension
+
+  /// Body bytes (without the handshake frame).
+  [[nodiscard]] net::Bytes encode() const;
+  [[nodiscard]] static std::optional<ClientHello> decode(
+      std::span<const std::uint8_t> body);
+};
+
+struct ServerHello {
+  std::uint16_t version = kTls12;
+  std::array<std::uint8_t, 32> random{};
+  net::Bytes session_id;
+  CipherSuite cipher_suite = 0;
+  std::uint8_t compression_method = 0;
+  bool ocsp_stapling = false;  // echoes status_request when stapling
+  // Extra extension payload (renegotiation_info, ALPN, tickets… lumped as a
+  // padding extension): real server hellos carry 100–250 B beyond the
+  // minimum, which matters for how much first-flight data fills the IW.
+  std::uint16_t extra_extension_bytes = 0;
+
+  [[nodiscard]] net::Bytes encode() const;
+  [[nodiscard]] static std::optional<ServerHello> decode(
+      std::span<const std::uint8_t> body);
+};
+
+struct CertificateChain {
+  std::vector<net::Bytes> certificates;  // DER blobs, leaf first
+
+  /// Sum of certificate byte lengths (the quantity plotted in Fig. 2).
+  [[nodiscard]] std::size_t total_certificate_bytes() const noexcept;
+
+  [[nodiscard]] net::Bytes encode() const;
+  [[nodiscard]] static std::optional<CertificateChain> decode(
+      std::span<const std::uint8_t> body);
+};
+
+}  // namespace iwscan::tls

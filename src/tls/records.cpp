@@ -1,0 +1,70 @@
+#include "tls/records.hpp"
+
+#include <algorithm>
+
+namespace iwscan::tls {
+
+void encode_record(const Record& record, net::Bytes& out) {
+  net::WireWriter writer(out);
+  writer.u8(static_cast<std::uint8_t>(record.type));
+  writer.u16(record.version);
+  writer.u16(static_cast<std::uint16_t>(record.payload.size()));
+  writer.raw(record.payload);
+}
+
+void encode_fragmented(ContentType type, std::uint16_t version,
+                       std::span<const std::uint8_t> payload, net::Bytes& out) {
+  std::size_t offset = 0;
+  do {
+    const std::size_t chunk = std::min(payload.size() - offset, kMaxRecordPayload);
+    net::WireWriter writer(out);
+    writer.u8(static_cast<std::uint8_t>(type));
+    writer.u16(version);
+    writer.u16(static_cast<std::uint16_t>(chunk));
+    writer.raw(payload.subspan(offset, chunk));
+    offset += chunk;
+  } while (offset < payload.size());
+}
+
+void RecordReader::feed(std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<Record> RecordReader::next() {
+  if (malformed_ || buffer_.size() < 5) return std::nullopt;
+  const std::uint8_t type = buffer_[0];
+  if (type < 20 || type > 23) {
+    malformed_ = true;
+    return std::nullopt;
+  }
+  const std::uint16_t version =
+      static_cast<std::uint16_t>((buffer_[1] << 8) | buffer_[2]);
+  const std::size_t length = (buffer_[3] << 8) | buffer_[4];
+  if (length > kMaxRecordPayload + 256) {
+    malformed_ = true;
+    return std::nullopt;
+  }
+  if (buffer_.size() < 5 + length) return std::nullopt;
+
+  Record record;
+  record.type = static_cast<ContentType>(type);
+  record.version = version;
+  record.payload.assign(buffer_.begin() + 5,
+                        buffer_.begin() + 5 + static_cast<std::ptrdiff_t>(length));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + 5 + static_cast<std::ptrdiff_t>(length));
+  return record;
+}
+
+net::Bytes encode_alert(AlertLevel level, AlertDescription description) {
+  return net::Bytes{static_cast<std::uint8_t>(level),
+                    static_cast<std::uint8_t>(description)};
+}
+
+std::optional<Alert> decode_alert(std::span<const std::uint8_t> payload) {
+  if (payload.size() != 2) return std::nullopt;
+  return Alert{static_cast<AlertLevel>(payload[0]),
+               static_cast<AlertDescription>(payload[1])};
+}
+
+}  // namespace iwscan::tls

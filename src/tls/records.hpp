@@ -1,0 +1,71 @@
+// TLS record layer (RFC 5246 §6.2): framing only, no encryption — the scan
+// never progresses past the server's first flight, which is plaintext.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netbase/wire.hpp"
+
+namespace iwscan::tls {
+
+enum class ContentType : std::uint8_t {
+  ChangeCipherSpec = 20,
+  Alert = 21,
+  Handshake = 22,
+  ApplicationData = 23,
+};
+
+inline constexpr std::uint16_t kTls12 = 0x0303;
+inline constexpr std::uint16_t kTls10 = 0x0301;
+inline constexpr std::size_t kMaxRecordPayload = 1 << 14;
+
+struct Record {
+  ContentType type = ContentType::Handshake;
+  std::uint16_t version = kTls12;
+  net::Bytes payload;
+};
+
+/// Serialize one record (payload must be ≤ 2^14 bytes).
+void encode_record(const Record& record, net::Bytes& out);
+
+/// Serialize a payload, fragmenting across records if it exceeds 2^14.
+void encode_fragmented(ContentType type, std::uint16_t version,
+                       std::span<const std::uint8_t> payload, net::Bytes& out);
+
+/// Incremental record deframer: feed TCP payload bytes, pop whole records.
+class RecordReader {
+ public:
+  void feed(std::span<const std::uint8_t> data);
+
+  /// Next complete record, or nullopt if more bytes are needed.
+  /// Sets malformed() and returns nullopt on a bad header.
+  [[nodiscard]] std::optional<Record> next();
+
+  [[nodiscard]] bool malformed() const noexcept { return malformed_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+ private:
+  net::Bytes buffer_;
+  bool malformed_ = false;
+};
+
+enum class AlertLevel : std::uint8_t { Warning = 1, Fatal = 2 };
+enum class AlertDescription : std::uint8_t {
+  CloseNotify = 0,
+  HandshakeFailure = 40,
+  ProtocolVersion = 70,
+  InternalError = 80,
+  UnrecognizedName = 112,
+};
+
+/// Two-byte alert payload inside an Alert record.
+[[nodiscard]] net::Bytes encode_alert(AlertLevel level, AlertDescription description);
+struct Alert {
+  AlertLevel level;
+  AlertDescription description;
+};
+[[nodiscard]] std::optional<Alert> decode_alert(std::span<const std::uint8_t> payload);
+
+}  // namespace iwscan::tls

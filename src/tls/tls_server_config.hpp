@@ -1,0 +1,30 @@
+// Configuration for a simulated TLS host (separated from tls_server.hpp so
+// the Internet model can describe hosts without pulling in the app logic).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tls/ciphers.hpp"
+
+namespace iwscan::tls {
+
+enum class SniPolicy {
+  Ignore,        // serves the default certificate without SNI
+  AlertAndClose, // fatal unrecognized_name alert, then close
+  SilentClose,   // FIN immediately, zero application bytes (Table 2 NoData)
+};
+
+struct TlsConfig {
+  SniPolicy sni_policy = SniPolicy::Ignore;
+  std::vector<CipherSuite> supported_ciphers = cipher_set(CipherProfile::Standard);
+  std::size_t chain_bytes = 2186;  // total certificate bytes (Fig. 2 mean)
+  bool ocsp_staple = false;        // adds a CertificateStatus message
+  std::size_t ocsp_response_bytes = 1600;
+  std::uint16_t hello_extra_bytes = 140;  // realistic ServerHello extensions
+  std::string server_name;         // certificate subject hint
+  std::uint64_t seed = 0;
+};
+
+}  // namespace iwscan::tls

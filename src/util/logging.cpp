@@ -1,0 +1,34 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace iwscan::util {
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+Logger::Logger()
+    : sink_([](LogLevel level, std::string_view message) {
+        std::fprintf(stderr, "[%.*s] %.*s\n", static_cast<int>(to_string(level).size()),
+                     to_string(level).data(), static_cast<int>(message.size()),
+                     message.data());
+      }) {}
+
+Logger& Logger::instance() noexcept {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
+  if (sink_ && enabled(level)) sink_(level, message);
+}
+
+}  // namespace iwscan::util

@@ -1,0 +1,74 @@
+// Minimal leveled logger.
+//
+// The scanner and benches run millions of simulated connections; logging is
+// therefore off by default above Warn and entirely macro-free — call sites
+// pay only a level check when a sink is installed.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace iwscan::util {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error };
+
+[[nodiscard]] std::string_view to_string(LogLevel level) noexcept;
+
+/// Process-global logging configuration. Not thread-safe by design: tests
+/// and benches configure it once up front.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, std::string_view)>;
+
+  static Logger& instance() noexcept;
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// Replace the sink (default: stderr). Pass nullptr to silence.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void write(LogLevel level, std::string_view message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::Warn;
+  Sink sink_;
+};
+
+namespace detail {
+template <typename... Args>
+void log_impl(LogLevel level, Args&&... args) {
+  Logger& logger = Logger::instance();
+  if (!logger.enabled(level)) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  logger.write(level, oss.str());
+}
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(Args&&... args) {
+  detail::log_impl(LogLevel::Trace, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_impl(LogLevel::Debug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_impl(LogLevel::Info, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_impl(LogLevel::Warn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_impl(LogLevel::Error, std::forward<Args>(args)...);
+}
+
+}  // namespace iwscan::util

@@ -1,0 +1,388 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netbase/checksum.hpp"
+#include "netbase/ipv4.hpp"
+#include "netbase/packet.hpp"
+#include "netbase/tcp_options.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::net {
+namespace {
+
+// ----------------------------------------------------------- IPv4 --------
+
+TEST(IPv4Address, ParseValid) {
+  const auto addr = IPv4Address::parse("192.0.2.133");
+  ASSERT_TRUE(addr);
+  EXPECT_EQ(addr->octet(0), 192);
+  EXPECT_EQ(addr->octet(1), 0);
+  EXPECT_EQ(addr->octet(2), 2);
+  EXPECT_EQ(addr->octet(3), 133);
+  EXPECT_EQ(addr->to_string(), "192.0.2.133");
+}
+
+TEST(IPv4Address, ParseRejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "1.2.3.x",
+                          "01.2.3.4", " 1.2.3.4", "1.2.3.4 ", "-1.2.3.4",
+                          "1..2.3"}) {
+    EXPECT_FALSE(IPv4Address::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(IPv4Address, RoundTripProperty) {
+  util::Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const IPv4Address addr{static_cast<std::uint32_t>(rng())};
+    const auto parsed = IPv4Address::parse(addr.to_string());
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(*parsed, addr);
+  }
+}
+
+TEST(IPv4Address, Ordering) {
+  EXPECT_LT(IPv4Address(10, 0, 0, 1), IPv4Address(10, 0, 0, 2));
+  EXPECT_LT(IPv4Address(9, 255, 255, 255), IPv4Address(10, 0, 0, 0));
+}
+
+TEST(Cidr, ParseAndContains) {
+  const auto cidr = Cidr::parse("203.0.113.0/24");
+  ASSERT_TRUE(cidr);
+  EXPECT_EQ(cidr->prefix_len, 24);
+  EXPECT_EQ(cidr->size(), 256u);
+  EXPECT_TRUE(cidr->contains(IPv4Address(203, 0, 113, 77)));
+  EXPECT_FALSE(cidr->contains(IPv4Address(203, 0, 114, 0)));
+  EXPECT_EQ(cidr->first(), IPv4Address(203, 0, 113, 0));
+  EXPECT_EQ(cidr->at(5), IPv4Address(203, 0, 113, 5));
+  EXPECT_EQ(cidr->to_string(), "203.0.113.0/24");
+}
+
+TEST(Cidr, HostRouteAndZeroLength) {
+  const auto host = Cidr::parse("10.1.2.3");
+  ASSERT_TRUE(host);
+  EXPECT_EQ(host->prefix_len, 32);
+  EXPECT_EQ(host->size(), 1u);
+
+  const auto all = Cidr::parse("0.0.0.0/0");
+  ASSERT_TRUE(all);
+  EXPECT_EQ(all->size(), 1ull << 32);
+  EXPECT_TRUE(all->contains(IPv4Address(255, 255, 255, 255)));
+}
+
+TEST(Cidr, ParseRejectsMalformed) {
+  for (const char* bad : {"10.0.0.0/33", "10.0.0.0/", "10.0.0.0/x", "/24",
+                          "10.0.0/24"}) {
+    EXPECT_FALSE(Cidr::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Cidr, NonCanonicalBaseIsMasked) {
+  const auto cidr = Cidr::parse("10.0.0.77/24");
+  ASSERT_TRUE(cidr);
+  EXPECT_EQ(cidr->first(), IPv4Address(10, 0, 0, 0));
+  EXPECT_TRUE(cidr->contains(IPv4Address(10, 0, 0, 1)));
+}
+
+// --------------------------------------------------------- checksum ------
+
+TEST(Checksum, KnownVector) {
+  // Classic example: 0x0001 0xf203 0xf4f5 0xf6f7 → checksum 0x220d.
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), 0x220d);
+}
+
+TEST(Checksum, OddLengthAndEmpty) {
+  const std::uint8_t odd[] = {0xab};
+  EXPECT_EQ(internet_checksum(odd), static_cast<std::uint16_t>(~0xab00 & 0xffff));
+  EXPECT_EQ(internet_checksum({}), 0xffff);
+}
+
+TEST(Checksum, VerifiesToZero) {
+  // A buffer with its own checksum patched in sums to zero.
+  std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x1c, 0x12, 0x34,
+                                    0x00, 0x00, 0x40, 0x06, 0x00, 0x00,
+                                    10,   0,    0,    1,    10,   0,   0, 2};
+  const std::uint16_t checksum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(checksum >> 8);
+  data[11] = static_cast<std::uint8_t>(checksum);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+// -------------------------------------------------------- TCP options ----
+
+TEST(TcpOptions, RoundTripStandardSet) {
+  const std::vector<TcpOption> options = {MssOption{64}, WindowScaleOption{7},
+                                          SackPermittedOption{}};
+  Bytes bytes;
+  WireWriter writer(bytes);
+  encode_tcp_options(options, writer);
+  EXPECT_EQ(bytes.size() % 4, 0u);
+  EXPECT_EQ(bytes.size(), encoded_tcp_options_size(options));
+
+  const auto decoded = decode_tcp_options(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(find_mss(*decoded), 64);
+  EXPECT_EQ(find_window_scale(*decoded), 7);
+  EXPECT_TRUE(has_sack_permitted(*decoded));
+}
+
+TEST(TcpOptions, UnknownOptionsRoundTrip) {
+  const std::vector<TcpOption> options = {
+      UnknownOption{8, Bytes{1, 2, 3, 4, 5, 6, 7, 8}},  // timestamps-shaped
+      MssOption{1460},
+  };
+  Bytes bytes;
+  WireWriter writer(bytes);
+  encode_tcp_options(options, writer);
+  const auto decoded = decode_tcp_options(bytes);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->size(), 2u);
+  const auto* unknown = std::get_if<UnknownOption>(&decoded->front());
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_EQ(unknown->kind, 8);
+  EXPECT_EQ(unknown->data.size(), 8u);
+  EXPECT_EQ(find_mss(*decoded), 1460);
+}
+
+TEST(TcpOptions, MalformedLengthRejected) {
+  // MSS option with bogus length.
+  EXPECT_FALSE(decode_tcp_options(Bytes{2, 3, 0}).has_value());
+  // Length extending past the buffer.
+  EXPECT_FALSE(decode_tcp_options(Bytes{2, 4, 0}).has_value());
+  // Zero-length option.
+  EXPECT_FALSE(decode_tcp_options(Bytes{8, 0}).has_value());
+  // Truncated: kind without length.
+  EXPECT_FALSE(decode_tcp_options(Bytes{2}).has_value());
+}
+
+TEST(TcpOptions, NopPaddingAndEndHandled) {
+  // NOP NOP MSS, then END followed by garbage that must be ignored.
+  const Bytes bytes = {1, 1, 2, 4, 0x05, 0xb4, 0, 0xde, 0xad};
+  const auto decoded = decode_tcp_options(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(find_mss(*decoded), 1460);
+  EXPECT_EQ(decoded->size(), 1u);
+}
+
+TEST(TcpOptions, EmptyIsValid) {
+  const auto decoded = decode_tcp_options({});
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->empty());
+  EXPECT_EQ(encoded_tcp_options_size({}), 0u);
+}
+
+// ----------------------------------------------------------- packets -----
+
+TcpSegment sample_segment() {
+  TcpSegment segment;
+  segment.ip.src = IPv4Address(192, 0, 2, 1);
+  segment.ip.dst = IPv4Address(10, 3, 2, 1);
+  segment.ip.ttl = 61;
+  segment.ip.dont_fragment = true;
+  segment.tcp.src_port = 40001;
+  segment.tcp.dst_port = 80;
+  segment.tcp.seq = 0xdeadbeef;
+  segment.tcp.ack = 0x01020304;
+  segment.tcp.flags = kSyn;
+  segment.tcp.window = 65535;
+  segment.tcp.options.push_back(MssOption{64});
+  return segment;
+}
+
+TEST(Packet, TcpRoundTrip) {
+  const TcpSegment original = sample_segment();
+  const Bytes bytes = encode(original);
+  const auto decoded = decode_datagram(bytes);
+  ASSERT_TRUE(decoded);
+  const auto* segment = std::get_if<TcpSegment>(&*decoded);
+  ASSERT_NE(segment, nullptr);
+  EXPECT_EQ(segment->ip.src, original.ip.src);
+  EXPECT_EQ(segment->ip.dst, original.ip.dst);
+  EXPECT_EQ(segment->ip.ttl, 61);
+  EXPECT_TRUE(segment->ip.dont_fragment);
+  EXPECT_EQ(segment->tcp.src_port, 40001);
+  EXPECT_EQ(segment->tcp.seq, 0xdeadbeef);
+  EXPECT_EQ(segment->tcp.flags, kSyn);
+  EXPECT_EQ(find_mss(segment->tcp.options), 64);
+  EXPECT_TRUE(segment->payload.empty());
+}
+
+TEST(Packet, TcpPayloadRoundTripProperty) {
+  util::Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    TcpSegment segment = sample_segment();
+    segment.tcp.flags = static_cast<std::uint8_t>(rng.below(0x40));
+    segment.tcp.seq = static_cast<std::uint32_t>(rng());
+    segment.tcp.ack = static_cast<std::uint32_t>(rng());
+    segment.tcp.window = static_cast<std::uint16_t>(rng());
+    if (rng.chance(0.5)) segment.tcp.options.clear();
+    const std::size_t payload_len = rng.below(1460);
+    segment.payload.resize(payload_len);
+    for (auto& byte : segment.payload) byte = static_cast<std::uint8_t>(rng());
+
+    const auto decoded = decode_datagram(encode(segment));
+    ASSERT_TRUE(decoded) << "trial " << trial;
+    const auto* out = std::get_if<TcpSegment>(&*decoded);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->tcp.seq, segment.tcp.seq);
+    EXPECT_EQ(out->tcp.ack, segment.tcp.ack);
+    EXPECT_EQ(out->tcp.flags, segment.tcp.flags);
+    EXPECT_EQ(out->tcp.window, segment.tcp.window);
+    EXPECT_EQ(out->payload, segment.payload);
+  }
+}
+
+TEST(Packet, SeqLengthCountsSynFin) {
+  TcpSegment segment = sample_segment();
+  segment.payload = {1, 2, 3};
+  segment.tcp.flags = kSyn | kFin;
+  EXPECT_EQ(segment.seq_length(), 5u);
+  segment.tcp.flags = kAck;
+  EXPECT_EQ(segment.seq_length(), 3u);
+}
+
+TEST(Packet, CorruptionIsDetected) {
+  Bytes bytes = encode(sample_segment());
+  // Flip one payload/header bit at every position; decode must fail or the
+  // decoded content must differ (checksums catch every single-bit error).
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    Bytes corrupted = bytes;
+    corrupted[i] ^= 0x01;
+    const auto decoded = decode_datagram(corrupted);
+    EXPECT_FALSE(decoded.has_value()) << "offset " << i;
+  }
+}
+
+TEST(Packet, TruncationRejected) {
+  const Bytes bytes = encode(sample_segment());
+  for (const std::size_t keep : {0u, 10u, 19u, 20u, 25u, 39u}) {
+    if (keep >= bytes.size()) continue;
+    const Bytes truncated(bytes.begin(), bytes.begin() + keep);
+    EXPECT_FALSE(decode_datagram(truncated).has_value()) << keep;
+  }
+}
+
+TEST(Packet, IcmpRoundTrip) {
+  IcmpDatagram datagram;
+  datagram.ip.src = IPv4Address(10, 0, 0, 1);
+  datagram.ip.dst = IPv4Address(192, 0, 2, 1);
+  datagram.icmp.type = IcmpType::Echo;
+  datagram.icmp.code = 0;
+  datagram.icmp.id_or_unused = 0x1234;
+  datagram.icmp.seq_or_mtu = 7;
+  datagram.icmp.payload = {9, 8, 7, 6};
+
+  const auto decoded = decode_datagram(encode(datagram));
+  ASSERT_TRUE(decoded);
+  const auto* icmp = std::get_if<IcmpDatagram>(&*decoded);
+  ASSERT_NE(icmp, nullptr);
+  EXPECT_EQ(icmp->icmp.type, IcmpType::Echo);
+  EXPECT_EQ(icmp->icmp.id_or_unused, 0x1234);
+  EXPECT_EQ(icmp->icmp.seq_or_mtu, 7);
+  EXPECT_EQ(icmp->icmp.payload, (Bytes{9, 8, 7, 6}));
+}
+
+TEST(Packet, FragNeededCarriesMtu) {
+  IcmpDatagram datagram;
+  datagram.ip.src = IPv4Address(10, 0, 0, 1);
+  datagram.ip.dst = IPv4Address(192, 0, 2, 1);
+  datagram.icmp.type = IcmpType::DestinationUnreachable;
+  datagram.icmp.code = kIcmpFragNeeded;
+  datagram.icmp.seq_or_mtu = 1400;
+  const auto decoded = decode_datagram(encode(datagram));
+  ASSERT_TRUE(decoded);
+  const auto* icmp = std::get_if<IcmpDatagram>(&*decoded);
+  ASSERT_NE(icmp, nullptr);
+  EXPECT_EQ(icmp->icmp.seq_or_mtu, 1400);
+  EXPECT_EQ(icmp->icmp.code, kIcmpFragNeeded);
+}
+
+TEST(Packet, PeekAddresses) {
+  const Bytes bytes = encode(sample_segment());
+  EXPECT_EQ(peek_source(bytes), IPv4Address(192, 0, 2, 1));
+  EXPECT_EQ(peek_destination(bytes), IPv4Address(10, 3, 2, 1));
+  EXPECT_FALSE(peek_destination(Bytes{1, 2, 3}).has_value());
+  EXPECT_FALSE(peek_source({}).has_value());
+}
+
+TEST(Packet, UnsupportedProtocolRejected) {
+  Bytes bytes = encode(sample_segment());
+  bytes[9] = 17;  // claim UDP
+  // Header checksum no longer matches → reject (and even if it did, UDP is
+  // unsupported).
+  EXPECT_FALSE(decode_datagram(bytes).has_value());
+}
+
+TEST(Packet, FragmentFieldsRoundTrip) {
+  TcpSegment segment = sample_segment();
+  segment.ip.dont_fragment = false;
+  segment.ip.more_fragments = true;
+  segment.ip.fragment_offset = 0x123;
+  segment.ip.identification = 0xbeef;
+  segment.ip.tos = 0x10;
+  const auto decoded = decode_datagram(encode(segment));
+  ASSERT_TRUE(decoded);
+  const auto& ip = std::get<TcpSegment>(*decoded).ip;
+  EXPECT_FALSE(ip.dont_fragment);
+  EXPECT_TRUE(ip.more_fragments);
+  EXPECT_EQ(ip.fragment_offset, 0x123);
+  EXPECT_EQ(ip.identification, 0xbeef);
+  EXPECT_EQ(ip.tos, 0x10);
+}
+
+TEST(WireReader, NeverReadsOutOfBounds) {
+  // Property: any sequence of reads on a short buffer fails safe.
+  const Bytes data = {1, 2, 3};
+  WireReader reader(data);
+  EXPECT_EQ(reader.u16(), 0x0102);
+  EXPECT_EQ(reader.u32(), 0u);  // only 1 byte left → zero + !ok
+  EXPECT_FALSE(reader.ok());
+  EXPECT_TRUE(reader.raw(10).empty());
+  reader.skip(100);  // must not crash or advance past the end
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(WireReader, U24AndPatches) {
+  Bytes data;
+  WireWriter writer(data);
+  writer.u24(0x010203);
+  const std::size_t at = writer.offset();
+  writer.u24(0);
+  writer.patch_u24(at, 0xaabbcc);
+
+  WireReader reader(data);
+  EXPECT_EQ(reader.u24(), 0x010203u);
+  EXPECT_EQ(reader.u24(), 0xaabbccu);
+  EXPECT_TRUE(reader.ok());
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(IPv4AddressHash, DispersesSequentialAddresses) {
+  std::set<std::size_t> buckets;
+  std::hash<IPv4Address> hasher;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    buckets.insert(hasher(IPv4Address{0x0a000000 + i}) % 1024);
+  }
+  // Sequential IPs must spread over most buckets, not cluster.
+  EXPECT_GT(buckets.size(), 500u);
+}
+
+// Parameterized: header round trip across flag combinations.
+class FlagRoundTrip : public ::testing::TestWithParam<std::uint8_t> {};
+
+TEST_P(FlagRoundTrip, PreservesFlags) {
+  TcpSegment segment = sample_segment();
+  segment.tcp.flags = GetParam();
+  const auto decoded = decode_datagram(encode(segment));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(std::get<TcpSegment>(*decoded).tcp.flags, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCommonFlagSets, FlagRoundTrip,
+                         ::testing::Values(kSyn, kSyn | kAck, kAck, kAck | kPsh,
+                                           kFin | kAck, kRst, kRst | kAck,
+                                           kFin | kAck | kPsh, kUrg | kAck));
+
+}  // namespace
+}  // namespace iwscan::net

@@ -1,0 +1,455 @@
+#include <gtest/gtest.h>
+
+#include "netbase/packet.hpp"
+#include "netsim/capture.hpp"
+#include "netsim/event_loop.hpp"
+#include "netsim/network.hpp"
+
+namespace iwscan::sim {
+namespace {
+
+// --------------------------------------------------------- EventLoop -----
+
+TEST(EventLoop, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(msec(30), [&] { order.push_back(3); });
+  loop.schedule(msec(10), [&] { order.push_back(1); });
+  loop.schedule(msec(20), [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), msec(30));
+}
+
+TEST(EventLoop, TiesBreakByScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule(msec(5), [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool fired = false;
+  const EventId id = loop.schedule(msec(5), [&] { fired = true; });
+  loop.cancel(id);
+  loop.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoop, CancelIsIdempotentAndNullSafe) {
+  EventLoop loop;
+  const EventId id = loop.schedule(msec(1), [] {});
+  loop.cancel(id);
+  loop.cancel(id);
+  loop.cancel(kNullEvent);
+  loop.run();
+}
+
+TEST(EventLoop, EventsScheduledDuringEventsRun) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule(msec(1), recurse);
+  };
+  loop.schedule(msec(1), recurse);
+  loop.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), msec(5));
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule(msec(10), [&] { ++fired; });
+  loop.schedule(msec(30), [&] { ++fired; });
+  loop.run_until(msec(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), msec(20));
+  loop.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoop, PastDelaysClampToNow) {
+  EventLoop loop;
+  loop.schedule(msec(10), [] {});
+  loop.run();
+  bool fired = false;
+  loop.schedule_at(msec(1), [&] { fired = true; });  // in the past
+  loop.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.now(), msec(10));
+}
+
+TEST(EventLoop, StepReturnsFalseWhenEmpty) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.step());
+  loop.schedule(msec(1), [] {});
+  EXPECT_TRUE(loop.step());
+  EXPECT_FALSE(loop.step());
+}
+
+// ----------------------------------------------------------- Network -----
+
+class Collector final : public Endpoint {
+ public:
+  void handle_packet(const net::Bytes& bytes) override {
+    packets.push_back(bytes);
+  }
+  std::vector<net::Bytes> packets;
+};
+
+net::Bytes make_packet(net::IPv4Address src, net::IPv4Address dst,
+                       std::size_t payload = 0, bool df = false) {
+  net::TcpSegment segment;
+  segment.ip.src = src;
+  segment.ip.dst = dst;
+  segment.ip.dont_fragment = df;
+  segment.tcp.src_port = 1;
+  segment.tcp.dst_port = 2;
+  segment.tcp.flags = net::kAck;
+  segment.payload.assign(payload, 0x7e);
+  return net::encode(segment);
+}
+
+const net::IPv4Address kA{10, 0, 0, 1};
+const net::IPv4Address kB{10, 0, 0, 2};
+
+TEST(Network, DeliversAfterLatency) {
+  EventLoop loop;
+  Network network(loop, 1);
+  Collector b;
+  network.attach(kB, &b);
+  PathConfig path;
+  path.latency = msec(25);
+  network.set_default_path(path);
+
+  network.send(make_packet(kA, kB));
+  EXPECT_TRUE(b.packets.empty());
+  loop.run();
+  EXPECT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(loop.now(), msec(25));
+  EXPECT_EQ(network.stats().packets_delivered, 1u);
+}
+
+TEST(Network, UnroutableIsCountedNotDelivered) {
+  EventLoop loop;
+  Network network(loop, 1);
+  network.send(make_packet(kA, kB));  // nobody attached, no resolver
+  loop.run();
+  EXPECT_EQ(network.stats().packets_unroutable, 1u);
+  EXPECT_EQ(network.stats().packets_delivered, 0u);
+}
+
+TEST(Network, ResolverMaterializesLazily) {
+  EventLoop loop;
+  Network network(loop, 1);
+  Collector host;
+  int resolver_calls = 0;
+  network.set_resolver([&](net::IPv4Address addr) -> Endpoint* {
+    ++resolver_calls;
+    if (addr != kB) return nullptr;
+    network.attach(kB, &host);
+    return &host;
+  });
+
+  network.send(make_packet(kA, kB));
+  network.send(make_packet(kA, kB));
+  loop.run();
+  EXPECT_EQ(host.packets.size(), 2u);
+  EXPECT_EQ(resolver_calls, 1) << "second packet must hit the attached endpoint";
+
+  // Unresolvable destination: dropped.
+  network.send(make_packet(kA, net::IPv4Address{10, 9, 9, 9}));
+  loop.run();
+  EXPECT_GE(network.stats().packets_unroutable, 1u);
+}
+
+TEST(Network, LossRateDropsRoughlyThatFraction) {
+  EventLoop loop;
+  Network network(loop, 99);
+  Collector b;
+  network.attach(kB, &b);
+  PathConfig path;
+  path.loss_rate = 0.3;
+  network.set_default_path(path);
+
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) network.send(make_packet(kA, kB));
+  loop.run();
+  const double delivered = static_cast<double>(b.packets.size()) / n;
+  EXPECT_NEAR(delivered, 0.7, 0.03);
+  EXPECT_EQ(network.stats().packets_lost + network.stats().packets_delivered,
+            static_cast<std::uint64_t>(n));
+}
+
+TEST(Network, PerPathOverrideBeatsDefault) {
+  EventLoop loop;
+  Network network(loop, 1);
+  Collector b;
+  Collector c;
+  const net::IPv4Address kC{10, 0, 0, 3};
+  network.attach(kB, &b);
+  network.attach(kC, &c);
+  PathConfig lossy;
+  lossy.loss_rate = 1.0;
+  network.set_path(kB, lossy);  // kC keeps lossless default
+
+  for (int i = 0; i < 50; ++i) {
+    network.send(make_packet(kA, kB));
+    network.send(make_packet(kA, kC));
+  }
+  loop.run();
+  EXPECT_TRUE(b.packets.empty());
+  EXPECT_EQ(c.packets.size(), 50u);
+
+  network.clear_path(kB);
+  network.send(make_packet(kA, kB));
+  loop.run();
+  EXPECT_EQ(b.packets.size(), 1u);
+}
+
+TEST(Network, PathKeyedByRemoteAppliesBothDirections) {
+  EventLoop loop;
+  Network network(loop, 1);
+  Collector scanner;
+  Collector host;
+  const net::IPv4Address kScanner{192, 0, 2, 1};
+  network.attach(kScanner, &scanner);
+  network.attach(kB, &host);
+  PathConfig slow;
+  slow.latency = msec(100);
+  network.set_path(kB, slow);  // keyed by the host side
+
+  network.send(make_packet(kScanner, kB));  // forward: dst match
+  network.send(make_packet(kB, kScanner));  // reverse: src match
+  loop.run();
+  EXPECT_EQ(loop.now(), msec(100));
+  EXPECT_EQ(host.packets.size(), 1u);
+  EXPECT_EQ(scanner.packets.size(), 1u);
+}
+
+TEST(Network, ReorderingDelaysSomePackets) {
+  EventLoop loop;
+  Network network(loop, 7);
+  Collector b;
+  network.attach(kB, &b);
+  PathConfig path;
+  path.latency = msec(10);
+  path.reorder_rate = 0.5;
+  path.reorder_delay = msec(50);
+  network.set_default_path(path);
+
+  for (int i = 0; i < 200; ++i) network.send(make_packet(kA, kB, i % 7));
+  loop.run();
+  EXPECT_EQ(b.packets.size(), 200u);
+  EXPECT_NEAR(static_cast<double>(network.stats().packets_reordered) / 200.0, 0.5,
+              0.1);
+}
+
+TEST(Network, OversizedDfPacketTriggersFragNeeded) {
+  EventLoop loop;
+  Network network(loop, 1);
+  Collector a;
+  Collector b;
+  network.attach(kA, &a);
+  network.attach(kB, &b);
+  PathConfig path;
+  path.path_mtu = 600;
+  network.set_path(kB, path);
+
+  network.send(make_packet(kA, kB, 1000, /*df=*/true));
+  loop.run();
+  EXPECT_TRUE(b.packets.empty()) << "oversized DF packet must not arrive";
+  ASSERT_EQ(a.packets.size(), 1u);
+  const auto decoded = net::decode_datagram(a.packets[0]);
+  ASSERT_TRUE(decoded);
+  const auto* icmp = std::get_if<net::IcmpDatagram>(&*decoded);
+  ASSERT_NE(icmp, nullptr);
+  EXPECT_EQ(icmp->icmp.type, net::IcmpType::DestinationUnreachable);
+  EXPECT_EQ(icmp->icmp.code, net::kIcmpFragNeeded);
+  EXPECT_EQ(icmp->icmp.seq_or_mtu, 600);
+  EXPECT_EQ(network.stats().icmp_frag_needed, 1u);
+}
+
+TEST(Network, FittingDfPacketPasses) {
+  EventLoop loop;
+  Network network(loop, 1);
+  Collector b;
+  network.attach(kB, &b);
+  PathConfig path;
+  path.path_mtu = 600;
+  network.set_path(kB, path);
+
+  network.send(make_packet(kA, kB, 500, /*df=*/true));  // 540 B total
+  loop.run();
+  EXPECT_EQ(b.packets.size(), 1u);
+}
+
+TEST(Network, JitterStaysWithinBounds) {
+  EventLoop loop;
+  Network network(loop, 21);
+  Collector b;
+  network.attach(kB, &b);
+  PathConfig path;
+  path.latency = msec(10);
+  path.jitter = msec(5);
+  network.set_default_path(path);
+
+  SimTime last{};
+  for (int i = 0; i < 100; ++i) {
+    network.send(make_packet(kA, kB));
+  }
+  loop.run();
+  last = loop.now();
+  EXPECT_GE(last, msec(10));
+  EXPECT_LE(last, msec(15));
+  EXPECT_EQ(b.packets.size(), 100u);
+}
+
+TEST(Network, DuplicationDeliversTwice) {
+  EventLoop loop;
+  Network network(loop, 13);
+  Collector b;
+  network.attach(kB, &b);
+  PathConfig path;
+  path.duplicate_rate = 1.0;
+  path.duplicate_delay = msec(2);
+  network.set_default_path(path);
+
+  network.send(make_packet(kA, kB, 10));
+  loop.run();
+  EXPECT_EQ(b.packets.size(), 2u);
+  EXPECT_EQ(b.packets[0], b.packets[1]);
+  EXPECT_EQ(network.stats().packets_duplicated, 1u);
+}
+
+TEST(Network, FilterDropsDeterministically) {
+  EventLoop loop;
+  Network network(loop, 1);
+  Collector b;
+  network.attach(kB, &b);
+  int dropped = 0;
+  network.set_filter([&](const net::Bytes& bytes) {
+    if (bytes.size() > 60) {
+      ++dropped;
+      return false;
+    }
+    return true;
+  });
+  network.send(make_packet(kA, kB, 0));    // 40 B → passes
+  network.send(make_packet(kA, kB, 100));  // 140 B → dropped
+  loop.run();
+  EXPECT_EQ(b.packets.size(), 1u);
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(network.stats().packets_lost, 1u);
+  network.set_filter(nullptr);
+}
+
+// ----------------------------------------------------------- capture -----
+
+TEST(Capture, RecordsViaNetworkTap) {
+  EventLoop loop;
+  Network network(loop, 1);
+  Collector b;
+  network.attach(kB, &b);
+  PacketCapture capture;
+  capture.attach(network);
+
+  network.send(make_packet(kA, kB, 5));
+  loop.run();
+  network.send(make_packet(kB, kA, 0));
+  loop.run();
+
+  ASSERT_EQ(capture.size(), 2u);
+  EXPECT_LT(capture.entries()[0].timestamp, capture.entries()[1].timestamp);
+}
+
+TEST(Capture, TextLooksLikeTcpdump) {
+  PacketCapture capture;
+  net::TcpSegment segment;
+  segment.ip.src = kA;
+  segment.ip.dst = kB;
+  segment.tcp.src_port = 40000;
+  segment.tcp.dst_port = 80;
+  segment.tcp.seq = 7;
+  segment.tcp.flags = net::kSyn;
+  segment.tcp.window = 65535;
+  segment.tcp.options.push_back(net::MssOption{64});
+  capture.record(msec(1500), net::encode(segment));
+
+  const std::string text = capture.text();
+  EXPECT_NE(text.find("1.500000"), std::string::npos);
+  EXPECT_NE(text.find("10.0.0.1.40000 > 10.0.0.2.80"), std::string::npos);
+  EXPECT_NE(text.find("Flags [S]"), std::string::npos);
+  EXPECT_NE(text.find("mss 64"), std::string::npos);
+}
+
+TEST(Capture, IcmpFormatting) {
+  net::IcmpDatagram echo;
+  echo.ip.src = kA;
+  echo.ip.dst = kB;
+  echo.icmp.type = net::IcmpType::Echo;
+  echo.icmp.payload = {1, 2, 3};
+  const std::string line = format_packet(net::encode(echo));
+  EXPECT_NE(line.find("ICMP echo request"), std::string::npos);
+  EXPECT_NE(line.find("length 11"), std::string::npos);
+}
+
+TEST(Capture, PcapFileFormat) {
+  PacketCapture capture;
+  const auto packet = make_packet(kA, kB, 8);
+  capture.record(sec(2) + usec(123456), packet);
+  const net::Bytes pcap = capture.pcap();
+
+  // Global header: magic, v2.4, snaplen 65535, linktype 101 (RAW).
+  ASSERT_GE(pcap.size(), 24u + 16u + packet.size());
+  EXPECT_EQ(pcap[0], 0xd4);
+  EXPECT_EQ(pcap[1], 0xc3);
+  EXPECT_EQ(pcap[2], 0xb2);
+  EXPECT_EQ(pcap[3], 0xa1);
+  EXPECT_EQ(pcap[4], 2);    // version major (LE)
+  EXPECT_EQ(pcap[6], 4);    // version minor
+  EXPECT_EQ(pcap[20], 101); // linktype
+  // Record header: ts_sec=2, ts_usec=123456, lengths.
+  EXPECT_EQ(pcap[24], 2);
+  const std::uint32_t usec_field = pcap[28] | (pcap[29] << 8) |
+                                   (pcap[30] << 16) |
+                                   (static_cast<std::uint32_t>(pcap[31]) << 24);
+  EXPECT_EQ(usec_field, 123456u);
+  const std::uint32_t incl_len = pcap[32] | (pcap[33] << 8) | (pcap[34] << 16) |
+                                 (static_cast<std::uint32_t>(pcap[35]) << 24);
+  EXPECT_EQ(incl_len, packet.size());
+  // Payload bytes follow verbatim.
+  EXPECT_TRUE(std::equal(packet.begin(), packet.end(), pcap.begin() + 40));
+}
+
+TEST(Capture, LimitEvictsOldest) {
+  PacketCapture capture;
+  capture.set_limit(2);
+  for (int i = 0; i < 5; ++i) {
+    capture.record(msec(i), make_packet(kA, kB, static_cast<std::size_t>(i)));
+  }
+  EXPECT_EQ(capture.size(), 2u);
+  EXPECT_EQ(capture.entries()[0].timestamp, msec(3));
+}
+
+TEST(Network, StatsCountBytes) {
+  EventLoop loop;
+  Network network(loop, 1);
+  Collector b;
+  network.attach(kB, &b);
+  const auto packet = make_packet(kA, kB, 100);
+  network.send(packet);
+  loop.run();
+  EXPECT_EQ(network.stats().bytes_sent, packet.size());
+  network.reset_stats();
+  EXPECT_EQ(network.stats().packets_sent, 0u);
+}
+
+}  // namespace
+}  // namespace iwscan::sim

@@ -1,0 +1,314 @@
+// Scanner engine substrate: address permutation, target generation,
+// pacing, and the single-exchange probe modules.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "httpd/http_server.hpp"
+#include "scanner/icmp_mtu.hpp"
+#include "scanner/permutation.hpp"
+#include "scanner/scan_engine.hpp"
+#include "scanner/syn_scan.hpp"
+#include "scanner/targets.hpp"
+#include "tcpstack/host.hpp"
+
+namespace iwscan::scan {
+namespace {
+
+// -------------------------------------------------------- permutation ----
+
+class PermutationDomain : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PermutationDomain, IsABijection) {
+  const std::uint64_t domain = GetParam();
+  RandomPermutation permutation(domain, 42);
+  std::vector<bool> seen(domain, false);
+  for (std::uint64_t i = 0; i < domain; ++i) {
+    const std::uint64_t image = permutation.permute(i);
+    ASSERT_LT(image, domain);
+    ASSERT_FALSE(seen[image]) << "collision at index " << i;
+    seen[image] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, PermutationDomain,
+                         ::testing::Values(1u, 2u, 3u, 7u, 16u, 100u, 257u,
+                                           1024u, 5000u, 65536u, 100'000u));
+
+TEST(Permutation, DeterministicPerSeed) {
+  RandomPermutation a(1000, 7);
+  RandomPermutation b(1000, 7);
+  RandomPermutation c(1000, 8);
+  bool any_different = false;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.permute(i), b.permute(i));
+    any_different |= a.permute(i) != c.permute(i);
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Permutation, LooksShuffled) {
+  // Not a randomness test — just that consecutive indices don't map to
+  // consecutive addresses (the whole point of ZMap-style iteration).
+  RandomPermutation permutation(1 << 16, 3);
+  int adjacent = 0;
+  for (std::uint64_t i = 0; i + 1 < 1000; ++i) {
+    const auto a = permutation.permute(i);
+    const auto b = permutation.permute(i + 1);
+    if (b == a + 1 || a == b + 1) ++adjacent;
+  }
+  EXPECT_LT(adjacent, 5);
+}
+
+TEST(Permutation, ShardsPartitionTheDomain) {
+  RandomPermutation permutation(1000, 5);
+  std::set<std::uint64_t> all;
+  for (std::uint64_t shard = 0; shard < 4; ++shard) {
+    PermutationIterator it(permutation, shard, 4);
+    std::uint64_t value = 0;
+    while (it.next(value)) {
+      EXPECT_TRUE(all.insert(value).second) << "shards must not overlap";
+    }
+  }
+  EXPECT_EQ(all.size(), 1000u);
+}
+
+// ------------------------------------------------------------ targets ----
+
+TEST(TargetGenerator, VisitsEveryAddressExactlyOnce) {
+  TargetGenerator targets({*net::Cidr::parse("10.0.0.0/24"),
+                           *net::Cidr::parse("10.0.5.0/25")},
+                          {}, 9);
+  std::set<net::IPv4Address> seen;
+  while (const auto addr = targets.next()) {
+    EXPECT_TRUE(seen.insert(*addr).second);
+  }
+  EXPECT_EQ(seen.size(), 256u + 128u);
+  EXPECT_EQ(targets.address_space_size(), 384u);
+  // Every address belongs to one of the allow blocks.
+  for (const auto& addr : seen) {
+    EXPECT_TRUE(net::Cidr::parse("10.0.0.0/24")->contains(addr) ||
+                net::Cidr::parse("10.0.5.0/25")->contains(addr));
+  }
+}
+
+TEST(TargetGenerator, BlocklistIsNeverEmitted) {
+  TargetGenerator targets({*net::Cidr::parse("10.0.0.0/24")},
+                          {*net::Cidr::parse("10.0.0.128/25")}, 9);
+  std::size_t count = 0;
+  while (const auto addr = targets.next()) {
+    EXPECT_LT(addr->octet(3), 128);
+    ++count;
+  }
+  EXPECT_EQ(count, 128u);
+  EXPECT_EQ(targets.skipped_blocked(), 128u);
+}
+
+TEST(TargetGenerator, SamplingIsDeterministicAndProportional) {
+  const std::vector<net::Cidr> space = {*net::Cidr::parse("10.0.0.0/16")};
+  TargetGenerator a(space, {}, 42, 0.1);
+  TargetGenerator b(space, {}, 42, 0.1);
+  std::vector<net::IPv4Address> sample_a;
+  while (const auto addr = a.next()) sample_a.push_back(*addr);
+  std::vector<net::IPv4Address> sample_b;
+  while (const auto addr = b.next()) sample_b.push_back(*addr);
+  EXPECT_EQ(sample_a, sample_b);
+  EXPECT_NEAR(static_cast<double>(sample_a.size()) / 65536.0, 0.1, 0.01);
+}
+
+TEST(TargetGenerator, DifferentSeedsDifferentOrder) {
+  const std::vector<net::Cidr> space = {*net::Cidr::parse("10.0.0.0/24")};
+  TargetGenerator a(space, {}, 1);
+  TargetGenerator b(space, {}, 2);
+  int same_position = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (*a.next() == *b.next()) ++same_position;
+  }
+  EXPECT_LT(same_position, 20);
+}
+
+TEST(TargetGenerator, ShardedScansPartition) {
+  const std::vector<net::Cidr> space = {*net::Cidr::parse("10.0.0.0/22")};
+  std::set<net::IPv4Address> all;
+  for (std::uint64_t shard = 0; shard < 3; ++shard) {
+    TargetGenerator targets(space, {}, 5, 1.0, shard, 3);
+    while (const auto addr = targets.next()) {
+      EXPECT_TRUE(all.insert(*addr).second);
+    }
+  }
+  EXPECT_EQ(all.size(), 1024u);
+}
+
+TEST(ParseCidrList, ZmapBlocklistFormat) {
+  const std::string text =
+      "# IANA reserved\n"
+      "0.0.0.0/8\n"
+      "10.0.0.0/8   # private\n"
+      "\n"
+      "192.168.1.1\n"
+      "not-a-cidr\n"
+      "300.0.0.0/8\n";
+  std::vector<std::string> errors;
+  const auto list = parse_cidr_list(text, &errors);
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].prefix_len, 8);
+  EXPECT_EQ(list[1].first(), net::IPv4Address(10, 0, 0, 0));
+  EXPECT_EQ(list[2].prefix_len, 32);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0], "not-a-cidr");
+}
+
+TEST(ParseCidrList, EmptyAndCommentOnly) {
+  EXPECT_TRUE(parse_cidr_list("").empty());
+  EXPECT_TRUE(parse_cidr_list("# nothing\n   \n# more\n").empty());
+}
+
+// -------------------------------------------------------- scan engine ----
+
+struct EngineRig {
+  sim::EventLoop loop;
+  sim::Network network{loop, 11};
+  std::vector<std::unique_ptr<tcp::TcpHost>> hosts;
+
+  void add_host(net::IPv4Address ip, bool listening) {
+    tcp::StackConfig stack;
+    stack.iw = tcp::IwConfig::segments_of(10);
+    auto host = std::make_unique<tcp::TcpHost>(network, ip, stack, ip.value());
+    if (listening) {
+      http::WebConfig web;
+      web.page_size = 2000;
+      host->listen(80, http::HttpServerApp::factory(web));
+    }
+    network.attach(ip, host.get());
+    hosts.push_back(std::move(host));
+  }
+};
+
+TEST(ScanEngine, SynScanClassifiesAllThreeStates) {
+  EngineRig rig;
+  // 10.2.0.0/28: .0-.4 open, .5-.9 closed-port hosts, rest dark.
+  for (int i = 0; i < 5; ++i) rig.add_host(net::IPv4Address(10, 2, 0, static_cast<std::uint8_t>(i)), true);
+  for (int i = 5; i < 10; ++i) rig.add_host(net::IPv4Address(10, 2, 0, static_cast<std::uint8_t>(i)), false);
+
+  std::map<PortState, int> counts;
+  SynScanConfig config;
+  config.timeout = sim::sec(2);
+  SynScanModule module(config, [&](const SynScanResult& result) {
+    ++counts[result.state];
+  });
+  TargetGenerator targets({*net::Cidr::parse("10.2.0.0/28")}, {}, 3);
+  EngineConfig engine_config;
+  engine_config.rate_pps = 1000;
+  ScanEngine engine(rig.network, engine_config, std::move(targets), module);
+  engine.start();
+  while (!engine.done() && rig.loop.step()) {
+  }
+
+  EXPECT_EQ(counts[PortState::Open], 5);
+  EXPECT_EQ(counts[PortState::Closed], 5);
+  EXPECT_EQ(counts[PortState::Unresponsive], 6);
+  EXPECT_EQ(engine.stats().targets_started, 16u);
+  EXPECT_EQ(engine.stats().targets_finished, 16u);
+  EXPECT_TRUE(engine.done());
+}
+
+TEST(ScanEngine, PacingSpreadsSessionStarts) {
+  EngineRig rig;
+  SynScanConfig config;
+  config.timeout = sim::msec(100);
+  SynScanModule module(config, [](const SynScanResult&) {});
+  TargetGenerator targets({*net::Cidr::parse("10.3.0.0/24")}, {}, 3);
+  EngineConfig engine_config;
+  engine_config.rate_pps = 1000;  // 1 ms per target → 256 ms minimum
+  ScanEngine engine(rig.network, engine_config, std::move(targets), module);
+  engine.start();
+  while (!engine.done() && rig.loop.step()) {
+  }
+  const auto duration = engine.stats().finished_at - engine.stats().started_at;
+  EXPECT_GE(duration, sim::msec(255));
+  EXPECT_LE(duration, sim::msec(500));
+}
+
+TEST(ScanEngine, OutstandingCapThrottles) {
+  EngineRig rig;
+  SynScanConfig config;
+  config.timeout = sim::msec(500);  // every session lives 500 ms (all dark)
+  SynScanModule module(config, [](const SynScanResult&) {});
+  TargetGenerator targets({*net::Cidr::parse("10.4.0.0/24")}, {}, 3);
+  EngineConfig engine_config;
+  engine_config.rate_pps = 1'000'000;  // pacing not the bottleneck
+  engine_config.max_outstanding = 16;
+  ScanEngine engine(rig.network, engine_config, std::move(targets), module);
+  engine.start();
+  while (!engine.done() && rig.loop.step()) {
+  }
+  // 256 targets / 16 concurrent × 500 ms ≈ 8 s minimum.
+  EXPECT_GE(engine.stats().finished_at - engine.stats().started_at, sim::sec(7));
+  EXPECT_EQ(engine.stats().targets_finished, 256u);
+}
+
+TEST(ScanEngine, CompletionCallbackFires) {
+  EngineRig rig;
+  SynScanConfig config;
+  config.timeout = sim::msec(10);
+  SynScanModule module(config, [](const SynScanResult&) {});
+  TargetGenerator targets({*net::Cidr::parse("10.5.0.0/30")}, {}, 3);
+  ScanEngine engine(rig.network, EngineConfig{}, std::move(targets), module);
+  bool completed = false;
+  engine.set_on_complete([&] { completed = true; });
+  engine.start();
+  while (!engine.done() && rig.loop.step()) {
+  }
+  EXPECT_TRUE(completed);
+}
+
+// --------------------------------------------------------- ICMP MTU ------
+
+class MtuDiscovery : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MtuDiscovery, FindsConfiguredPathMtu) {
+  const std::uint32_t mtu = GetParam();
+  EngineRig rig;
+  const net::IPv4Address host_ip{10, 6, 0, 1};
+  rig.add_host(host_ip, false);
+  sim::PathConfig path = rig.network.default_path();
+  path.path_mtu = mtu;
+  rig.network.set_path(host_ip, path);
+
+  std::vector<MtuProbeResult> results;
+  IcmpMtuModule module({}, [&](const MtuProbeResult& r) { results.push_back(r); });
+  TargetGenerator targets({*net::Cidr::parse("10.6.0.1/32")}, {}, 3);
+  ScanEngine engine(rig.network, EngineConfig{}, std::move(targets), module);
+  engine.start();
+  while (!engine.done() && rig.loop.step()) {
+  }
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].responded);
+  EXPECT_EQ(results[0].path_mtu, mtu);
+  EXPECT_EQ(results[0].supported_mss(), mtu - 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Mtus, MtuDiscovery,
+                         ::testing::Values(576u, 1376u, 1400u, 1476u, 1492u,
+                                           1500u));
+
+TEST(MtuDiscovery, DarkHostIsUnresponsive) {
+  EngineRig rig;
+  std::vector<MtuProbeResult> results;
+  MtuProbeConfig config;
+  config.timeout = sim::msec(500);
+  IcmpMtuModule module(config, [&](const MtuProbeResult& r) { results.push_back(r); });
+  TargetGenerator targets({*net::Cidr::parse("10.7.0.1/32")}, {}, 3);
+  ScanEngine engine(rig.network, EngineConfig{}, std::move(targets), module);
+  engine.start();
+  while (!engine.done() && rig.loop.step()) {
+  }
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].responded);
+  EXPECT_EQ(results[0].path_mtu, 0u);
+  EXPECT_EQ(engine.stats().targets_finished, 1u);
+}
+
+}  // namespace
+}  // namespace iwscan::scan

@@ -1,0 +1,134 @@
+// Shared test fixture: a controlled two-node testbed (scanner ↔ one or more
+// configured hosts), mirroring the paper's §3.5 validation setup where
+// ground-truth IWs are known and packet traces are inspected.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/estimator.hpp"
+#include "core/host_prober.hpp"
+#include "httpd/http_server.hpp"
+#include "inetmodel/profiles.hpp"
+#include "netsim/network.hpp"
+#include "tcpstack/host.hpp"
+#include "tls/tls_server.hpp"
+
+namespace iwscan::test {
+
+inline const net::IPv4Address kScannerIp{192, 0, 2, 1};
+
+/// Minimal SessionServices bound straight to the network (no scan engine):
+/// lets tests drive one estimator / prober at a time.
+class DirectServices final : public scan::SessionServices, public sim::Endpoint {
+ public:
+  explicit DirectServices(sim::Network& network) : network_(network) {
+    network_.attach(kScannerIp, this);
+  }
+  ~DirectServices() override { network_.detach(kScannerIp); }
+
+  void set_handler(std::function<void(const net::Datagram&)> handler) {
+    handler_ = std::move(handler);
+  }
+
+  void handle_packet(const net::Bytes& bytes) override {
+    const auto datagram = net::decode_datagram(bytes);
+    if (datagram && handler_) handler_(*datagram);
+  }
+
+  void send_packet(net::Bytes bytes) override { network_.send(std::move(bytes)); }
+  sim::EventLoop& loop() override { return network_.loop(); }
+  net::IPv4Address scanner_address() const override { return kScannerIp; }
+  std::uint16_t allocate_port() override { return next_port_++; }
+  std::uint64_t session_seed() override { return seed_ += 0x9e3779b97f4a7c15ULL; }
+
+ private:
+  sim::Network& network_;
+  std::function<void(const net::Datagram&)> handler_;
+  std::uint16_t next_port_ = 40000;
+  std::uint64_t seed_ = 0x5eed;
+};
+
+class Testbed {
+ public:
+  explicit Testbed(std::uint64_t seed = 1)
+      : network_(loop_, seed), services_(network_) {
+    sim::PathConfig path;
+    path.latency = sim::msec(10);
+    network_.set_default_path(path);
+  }
+
+  sim::EventLoop& loop() { return loop_; }
+  sim::Network& network() { return network_; }
+  DirectServices& services() { return services_; }
+
+  tcp::TcpHost& add_http_host(net::IPv4Address ip, const tcp::StackConfig& stack,
+                              http::WebConfig web) {
+    auto host = std::make_unique<tcp::TcpHost>(network_, ip, stack, 99);
+    host->listen(80, http::HttpServerApp::factory(std::move(web)));
+    network_.attach(ip, host.get());
+    hosts_.push_back(std::move(host));
+    return *hosts_.back();
+  }
+
+  tcp::TcpHost& add_tls_host(net::IPv4Address ip, const tcp::StackConfig& stack,
+                             tls::TlsConfig config) {
+    auto host = std::make_unique<tcp::TcpHost>(network_, ip, stack, 99);
+    host->listen(443, tls::TlsServerApp::factory(std::move(config)));
+    network_.attach(ip, host.get());
+    hosts_.push_back(std::move(host));
+    return *hosts_.back();
+  }
+
+  /// Run one estimation connection; returns the observation.
+  core::ConnObservation estimate(net::IPv4Address target, std::uint16_t port,
+                                 core::EstimatorConfig config, net::Bytes request) {
+    core::ConnObservation result;
+    bool done = false;
+    core::IwEstimator estimator(services_, target, port, config, std::move(request),
+                                [&](const core::ConnObservation& observation) {
+                                  result = observation;
+                                  done = true;
+                                });
+    services_.set_handler(
+        [&](const net::Datagram& datagram) { estimator.on_datagram(datagram); });
+    estimator.start();
+    while (!done && loop_.step()) {
+    }
+    services_.set_handler(nullptr);
+    return result;
+  }
+
+  /// Run a full multi-probe host session; returns the host record.
+  core::HostScanRecord probe_host(net::IPv4Address target,
+                                  const core::IwScanConfig& config) {
+    core::HostScanRecord record;
+    bool done = false;
+    core::HostProber prober(
+        services_, target, config,
+        [&](const core::HostScanRecord& r) { record = r; }, [&] { done = true; });
+    services_.set_handler(
+        [&](const net::Datagram& datagram) { prober.on_datagram(datagram); });
+    prober.start();
+    while (!done && loop_.step()) {
+    }
+    services_.set_handler(nullptr);
+    return record;
+  }
+
+  /// Standard HTTP request the strategies would send first.
+  static net::Bytes http_get(net::IPv4Address host, std::string_view path = "/") {
+    std::string req = "GET " + std::string(path) + " HTTP/1.1\r\nHost: " +
+                      host.to_string() + "\r\nConnection: close\r\n\r\n";
+    return net::to_bytes(req);
+  }
+
+ private:
+  sim::EventLoop loop_;
+  sim::Network network_;
+  DirectServices services_;
+  std::vector<std::unique_ptr<tcp::TcpHost>> hosts_;
+};
+
+}  // namespace iwscan::test

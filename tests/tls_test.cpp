@@ -1,0 +1,513 @@
+// TLS record framing, handshake codecs, synthetic certificates, and the
+// server's first-flight behaviour (§3.3's counterparty).
+#include <gtest/gtest.h>
+
+#include "netsim/network.hpp"
+#include "tcpstack/host.hpp"
+#include "tls/cert.hpp"
+#include "tls/handshake.hpp"
+#include "tls/records.hpp"
+#include "tls/tls_server.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::tls {
+namespace {
+
+// ------------------------------------------------------------ records ----
+
+TEST(Records, RoundTrip) {
+  Record record;
+  record.type = ContentType::Handshake;
+  record.version = kTls12;
+  record.payload = {1, 2, 3, 4, 5};
+  net::Bytes wire;
+  encode_record(record, wire);
+  ASSERT_EQ(wire.size(), 10u);
+
+  RecordReader reader;
+  reader.feed(wire);
+  const auto out = reader.next();
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->type, ContentType::Handshake);
+  EXPECT_EQ(out->version, kTls12);
+  EXPECT_EQ(out->payload, record.payload);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Records, IncrementalDeframing) {
+  Record record;
+  record.payload.assign(100, 0xaa);
+  net::Bytes wire;
+  encode_record(record, wire);
+
+  RecordReader reader;
+  // Feed byte by byte; a record must only appear once complete.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_FALSE(reader.next().has_value());
+    reader.feed(std::span(&wire[i], 1));
+  }
+  EXPECT_TRUE(reader.next().has_value());
+}
+
+TEST(Records, MultipleRecordsInOneBuffer) {
+  net::Bytes wire;
+  for (int i = 0; i < 3; ++i) {
+    Record record;
+    record.type = ContentType::Alert;
+    record.payload = {static_cast<std::uint8_t>(i)};
+    encode_record(record, wire);
+  }
+  RecordReader reader;
+  reader.feed(wire);
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    const auto record = reader.next();
+    ASSERT_TRUE(record);
+    EXPECT_EQ(record->payload[0], i);
+  }
+}
+
+TEST(Records, FragmentationSplitsLargePayloads) {
+  net::Bytes payload(40'000, 0x5c);
+  net::Bytes wire;
+  encode_fragmented(ContentType::Handshake, kTls12, payload, wire);
+
+  RecordReader reader;
+  reader.feed(wire);
+  std::size_t total = 0;
+  int records = 0;
+  while (const auto record = reader.next()) {
+    EXPECT_LE(record->payload.size(), kMaxRecordPayload);
+    total += record->payload.size();
+    ++records;
+  }
+  EXPECT_EQ(total, 40'000u);
+  EXPECT_EQ(records, 3);
+}
+
+TEST(Records, MalformedTypeDetected) {
+  RecordReader reader;
+  reader.feed(net::Bytes{99, 3, 3, 0, 1, 0});
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.malformed());
+}
+
+TEST(Records, AlertRoundTrip) {
+  const auto wire = encode_alert(AlertLevel::Fatal, AlertDescription::UnrecognizedName);
+  const auto alert = decode_alert(wire);
+  ASSERT_TRUE(alert);
+  EXPECT_EQ(alert->level, AlertLevel::Fatal);
+  EXPECT_EQ(alert->description, AlertDescription::UnrecognizedName);
+  EXPECT_FALSE(decode_alert(net::Bytes{1}).has_value());
+  EXPECT_FALSE(decode_alert(net::Bytes{1, 2, 3}).has_value());
+}
+
+// ---------------------------------------------------------- handshake ----
+
+TEST(Handshake, FramingRoundTrip) {
+  const net::Bytes body = {9, 9, 9};
+  const auto framed = encode_handshake(HandshakeType::Certificate, body);
+  const auto messages = split_handshakes(framed);
+  ASSERT_TRUE(messages);
+  ASSERT_EQ(messages->size(), 1u);
+  EXPECT_EQ(messages->front().type, HandshakeType::Certificate);
+  EXPECT_EQ(messages->front().body, body);
+}
+
+TEST(Handshake, ConcatenatedMessagesSplit) {
+  net::Bytes flight;
+  for (const auto type :
+       {HandshakeType::ServerHello, HandshakeType::Certificate,
+        HandshakeType::ServerHelloDone}) {
+    const auto framed = encode_handshake(type, net::Bytes{static_cast<std::uint8_t>(type)});
+    flight.insert(flight.end(), framed.begin(), framed.end());
+  }
+  const auto messages = split_handshakes(flight);
+  ASSERT_TRUE(messages);
+  ASSERT_EQ(messages->size(), 3u);
+  EXPECT_EQ((*messages)[2].type, HandshakeType::ServerHelloDone);
+}
+
+TEST(Handshake, TruncatedSplitRejected) {
+  auto framed = encode_handshake(HandshakeType::ServerHello, net::Bytes(10, 0));
+  framed.pop_back();
+  EXPECT_FALSE(split_handshakes(framed).has_value());
+}
+
+TEST(ClientHello, RoundTripWithSniAndOcsp) {
+  ClientHello hello;
+  const auto probe = probe_cipher_list();
+  hello.cipher_suites.assign(probe.begin(), probe.end());
+  hello.server_name = "www.example.net";
+  hello.ocsp_stapling = true;
+  util::Rng rng(4);
+  for (auto& byte : hello.random) byte = static_cast<std::uint8_t>(rng());
+
+  const auto decoded = ClientHello::decode(hello.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->cipher_suites.size(), 40u);
+  EXPECT_EQ(decoded->cipher_suites, hello.cipher_suites);
+  EXPECT_EQ(decoded->server_name, "www.example.net");
+  EXPECT_TRUE(decoded->ocsp_stapling);
+  EXPECT_EQ(decoded->random, hello.random);
+}
+
+TEST(ClientHello, NoSniDecodesAsAbsent) {
+  ClientHello hello;
+  hello.cipher_suites = {0xC02F};
+  hello.server_name.reset();
+  const auto decoded = ClientHello::decode(hello.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_FALSE(decoded->server_name.has_value());
+}
+
+TEST(ClientHello, TruncatedRejected) {
+  ClientHello hello;
+  hello.cipher_suites = {0xC02F};
+  auto body = hello.encode();
+  body.resize(20);
+  EXPECT_FALSE(ClientHello::decode(body).has_value());
+}
+
+TEST(ServerHello, RoundTripWithExtras) {
+  ServerHello hello;
+  hello.cipher_suite = 0xC030;
+  hello.ocsp_stapling = true;
+  hello.extra_extension_bytes = 120;
+  hello.session_id.assign(32, 7);
+  const auto body = hello.encode();
+  EXPECT_GT(body.size(), 150u) << "extras must inflate the hello";
+  const auto decoded = ServerHello::decode(body);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->cipher_suite, 0xC030);
+  EXPECT_TRUE(decoded->ocsp_stapling);
+  EXPECT_EQ(decoded->session_id.size(), 32u);
+}
+
+TEST(CertificateChain, RoundTrip) {
+  CertificateChain chain;
+  chain.certificates.push_back(net::Bytes(1200, 1));
+  chain.certificates.push_back(net::Bytes(900, 2));
+  const auto decoded = CertificateChain::decode(chain.encode());
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->certificates.size(), 2u);
+  EXPECT_EQ(decoded->certificates[0].size(), 1200u);
+  EXPECT_EQ(decoded->total_certificate_bytes(), 2100u);
+}
+
+TEST(CertificateChain, BadLengthsRejected) {
+  CertificateChain chain;
+  chain.certificates.push_back(net::Bytes(100, 1));
+  auto body = chain.encode();
+  body[2] += 1;  // corrupt total length
+  EXPECT_FALSE(CertificateChain::decode(body).has_value());
+}
+
+// ------------------------------------------------------------ ciphers ----
+
+TEST(Ciphers, ProbeListHas40UniqueSuites) {
+  const auto list = probe_cipher_list();
+  EXPECT_EQ(list.size(), 40u);
+  std::set<CipherSuite> unique(list.begin(), list.end());
+  EXPECT_EQ(unique.size(), 40u);
+}
+
+TEST(Ciphers, NegotiationPrefersClientOrder) {
+  const std::vector<CipherSuite> server = {0x002F, 0xC02F};
+  const auto list = probe_cipher_list();
+  // 0xC02F appears before 0x002F in the probe list.
+  EXPECT_EQ(negotiate(list, server), 0xC02F);
+}
+
+TEST(Ciphers, ExoticSetNeverNegotiates) {
+  const auto exotic = cipher_set(CipherProfile::Exotic);
+  EXPECT_EQ(negotiate(probe_cipher_list(), exotic), 0);
+  // All the other profiles must negotiate.
+  for (const auto profile :
+       {CipherProfile::Modern, CipherProfile::Standard, CipherProfile::Legacy}) {
+    EXPECT_NE(negotiate(probe_cipher_list(), cipher_set(profile)), 0);
+  }
+}
+
+TEST(Ciphers, Names) {
+  EXPECT_EQ(cipher_name(0xC02F), "TLS_ECDHE_RSA_WITH_AES_128_GCM_SHA256");
+  EXPECT_EQ(cipher_name(0xBEEF), "0xBEEF");
+}
+
+// --------------------------------------------------------------- cert ----
+
+class CertSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CertSize, ExactSizeAndDerFraming) {
+  const auto cert = make_certificate(GetParam(), "cn=test", 5);
+  EXPECT_EQ(cert.size(), std::max<std::size_t>(GetParam(), 8));
+  EXPECT_EQ(cert[0], 0x30);  // DER SEQUENCE
+  EXPECT_EQ(cert[1], 0x82);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CertSize,
+                         ::testing::Values(8u, 36u, 640u, 2186u, 65'000u));
+
+TEST(CertChainGen, TotalBytesIsExact) {
+  for (const std::size_t total : {36u, 500u, 1200u, 2186u, 4200u, 20'000u}) {
+    const auto chain = make_chain(total, "host", 11);
+    EXPECT_EQ(chain.total_certificate_bytes(), std::max<std::size_t>(total, 8))
+        << total;
+  }
+}
+
+TEST(CertChainGen, RealisticLayout) {
+  EXPECT_EQ(make_chain(600, "x", 1).certificates.size(), 1u);
+  EXPECT_EQ(make_chain(2186, "x", 1).certificates.size(), 2u);
+  EXPECT_EQ(make_chain(9000, "x", 1).certificates.size(), 3u);
+}
+
+TEST(CertChainGen, Deterministic) {
+  EXPECT_EQ(make_chain(2186, "x", 7).encode(), make_chain(2186, "x", 7).encode());
+  EXPECT_NE(make_chain(2186, "x", 7).encode(), make_chain(2186, "x", 8).encode());
+}
+
+// ------------------------------------------------- server first flight ---
+
+/// Captures everything a TLS server sends on one connection.
+struct TlsRig {
+  sim::EventLoop loop;
+  sim::Network network{loop, 9};
+  std::unique_ptr<tcp::TcpHost> host;
+  const net::IPv4Address server_ip{10, 0, 0, 2};
+  const net::IPv4Address client_ip{192, 0, 2, 6};
+
+  struct Client final : sim::Endpoint {
+    sim::Network& network;
+    net::IPv4Address self, server;
+    net::Bytes stream;
+    bool fin = false;
+    std::uint32_t rcv_nxt = 0;
+    std::uint32_t isn = 500;
+    net::Bytes hello;
+    net::Bytes split_tail;  // second ClientHello fragment, if splitting
+    bool tail_sent = false;
+
+    Client(sim::Network& n, net::IPv4Address s, net::IPv4Address d)
+        : network(n), self(s), server(d) {
+      network.attach(self, this);
+    }
+    ~Client() override { network.detach(self); }
+
+    void start(net::Bytes client_hello) {
+      hello = std::move(client_hello);
+      send(isn, 0, net::kSyn, true);
+    }
+    void handle_packet(const net::Bytes& bytes) override {
+      const auto datagram = net::decode_datagram(bytes);
+      if (!datagram) return;
+      const auto* segment = std::get_if<net::TcpSegment>(&*datagram);
+      if (!segment || segment->tcp.has(net::kRst)) return;
+      if (segment->tcp.has(net::kSyn)) {
+        rcv_nxt = segment->tcp.seq + 1;
+        send(isn + 1, rcv_nxt, net::kAck | net::kPsh, false, hello);
+        return;
+      }
+      if (!split_tail.empty() && !tail_sent && segment->payload.empty()) {
+        // The server ACKed the first fragment; deliver the rest.
+        tail_sent = true;
+        send(isn + 1 + static_cast<std::uint32_t>(hello.size()), rcv_nxt,
+             net::kAck | net::kPsh, false, split_tail);
+        return;
+      }
+      if (!segment->payload.empty() && segment->tcp.seq == rcv_nxt) {
+        stream.insert(stream.end(), segment->payload.begin(),
+                      segment->payload.end());
+        rcv_nxt += static_cast<std::uint32_t>(segment->payload.size());
+      }
+      if (segment->tcp.has(net::kFin)) fin = true;
+      send(isn + 1 + static_cast<std::uint32_t>(hello.size()), rcv_nxt, net::kAck,
+           false);
+    }
+    void send(std::uint32_t seq, std::uint32_t ack, std::uint8_t flags, bool mss,
+              net::Bytes payload = {}) {
+      net::TcpSegment segment;
+      segment.ip.src = self;
+      segment.ip.dst = server;
+      segment.tcp.src_port = 45000;
+      segment.tcp.dst_port = 443;
+      segment.tcp.seq = seq;
+      segment.tcp.ack = ack;
+      segment.tcp.flags = flags;
+      segment.tcp.window = 65535;
+      if (mss) segment.tcp.options.push_back(net::MssOption{1460});
+      segment.payload = std::move(payload);
+      network.send(net::encode(segment));
+    }
+  };
+  std::unique_ptr<Client> client;
+
+  explicit TlsRig(TlsConfig config) {
+    tcp::StackConfig stack;
+    stack.iw = tcp::IwConfig::segments_of(10);
+    host = std::make_unique<tcp::TcpHost>(network, server_ip, stack, 2);
+    host->listen(443, TlsServerApp::factory(std::move(config)));
+    network.attach(server_ip, host.get());
+    client = std::make_unique<Client>(network, client_ip, server_ip);
+  }
+
+  /// Like run(), but the ClientHello is delivered in two TCP segments —
+  /// the record reassembly path a real fragmented handshake exercises.
+  net::Bytes run_split(bool with_sni) {
+    ClientHello hello;
+    const auto probe = probe_cipher_list();
+    hello.cipher_suites.assign(probe.begin(), probe.end());
+    if (with_sni) hello.server_name = "www.example.net";
+    const auto framed = encode_handshake(HandshakeType::ClientHello, hello.encode());
+    net::Bytes wire;
+    encode_fragmented(ContentType::Handshake, kTls10, framed, wire);
+
+    // First half rides on the handshake ACK; the rest follows.
+    const std::size_t half = wire.size() / 2;
+    client->split_tail.assign(wire.begin() + static_cast<std::ptrdiff_t>(half),
+                              wire.end());
+    wire.resize(half);
+    client->start(wire);
+    loop.run_until(loop.now() + sim::sec(5));
+    return client->stream;
+  }
+
+  net::Bytes run(bool with_sni, bool exotic_client = false) {
+    ClientHello hello;
+    const auto probe = probe_cipher_list();
+    hello.cipher_suites.assign(probe.begin(), probe.end());
+    if (exotic_client) hello.cipher_suites = {0x9999};
+    hello.ocsp_stapling = true;
+    if (with_sni) hello.server_name = "www.example.net";
+    const auto framed = encode_handshake(HandshakeType::ClientHello, hello.encode());
+    net::Bytes wire;
+    encode_fragmented(ContentType::Handshake, kTls10, framed, wire);
+    client->start(wire);
+    loop.run_until(loop.now() + sim::sec(5));
+    return client->stream;
+  }
+};
+
+std::vector<Record> parse_stream(const net::Bytes& stream) {
+  RecordReader reader;
+  reader.feed(stream);
+  std::vector<Record> records;
+  while (auto record = reader.next()) records.push_back(std::move(*record));
+  return records;
+}
+
+TEST(TlsServer, FirstFlightContainsFullChain) {
+  TlsConfig config;
+  config.chain_bytes = 3000;
+  config.server_name = "unit.test";
+  TlsRig rig(config);
+  const auto stream = rig.run(/*with_sni=*/true);
+  const auto records = parse_stream(stream);
+  ASSERT_FALSE(records.empty());
+
+  net::Bytes handshake_payload;
+  for (const auto& record : records) {
+    ASSERT_EQ(record.type, ContentType::Handshake);
+    handshake_payload.insert(handshake_payload.end(), record.payload.begin(),
+                             record.payload.end());
+  }
+  const auto messages = split_handshakes(handshake_payload);
+  ASSERT_TRUE(messages);
+  ASSERT_GE(messages->size(), 3u);
+  EXPECT_EQ((*messages)[0].type, HandshakeType::ServerHello);
+  EXPECT_EQ((*messages)[1].type, HandshakeType::Certificate);
+  EXPECT_EQ(messages->back().type, HandshakeType::ServerHelloDone);
+
+  const auto chain = CertificateChain::decode((*messages)[1].body);
+  ASSERT_TRUE(chain);
+  EXPECT_EQ(chain->total_certificate_bytes(), 3000u);
+
+  const auto server_hello = ServerHello::decode((*messages)[0].body);
+  ASSERT_TRUE(server_hello);
+  EXPECT_NE(server_hello->cipher_suite, 0);
+  EXPECT_FALSE(rig.client->fin) << "server waits for the key exchange";
+}
+
+TEST(TlsServer, ClientHelloSplitAcrossSegmentsIsReassembled) {
+  TlsConfig config;
+  config.chain_bytes = 2000;
+  TlsRig rig(config);
+  const auto stream = rig.run_split(/*with_sni=*/true);
+  const auto records = parse_stream(stream);
+  ASSERT_FALSE(records.empty()) << "server must wait for the full record";
+  EXPECT_EQ(records[0].type, ContentType::Handshake);
+  net::Bytes payload;
+  for (const auto& record : records) {
+    payload.insert(payload.end(), record.payload.begin(), record.payload.end());
+  }
+  const auto messages = split_handshakes(payload);
+  ASSERT_TRUE(messages);
+  EXPECT_EQ(messages->front().type, HandshakeType::ServerHello);
+}
+
+TEST(TlsServer, OcspStaplingAddsCertificateStatus) {
+  TlsConfig config;
+  config.chain_bytes = 1000;
+  config.ocsp_staple = true;
+  config.ocsp_response_bytes = 800;
+  TlsRig rig(config);
+  const auto stream = rig.run(true);
+  net::Bytes payload;
+  for (const auto& record : parse_stream(stream)) {
+    payload.insert(payload.end(), record.payload.begin(), record.payload.end());
+  }
+  const auto messages = split_handshakes(payload);
+  ASSERT_TRUE(messages);
+  bool has_status = false;
+  for (const auto& message : *messages) {
+    has_status |= message.type == HandshakeType::CertificateStatus;
+  }
+  EXPECT_TRUE(has_status);
+}
+
+TEST(TlsServer, SniAlertPolicy) {
+  TlsConfig config;
+  config.sni_policy = SniPolicy::AlertAndClose;
+  TlsRig rig(config);
+  const auto stream = rig.run(/*with_sni=*/false);
+  const auto records = parse_stream(stream);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].type, ContentType::Alert);
+  const auto alert = decode_alert(records[0].payload);
+  ASSERT_TRUE(alert);
+  EXPECT_EQ(alert->description, AlertDescription::UnrecognizedName);
+  EXPECT_TRUE(rig.client->fin);
+}
+
+TEST(TlsServer, SniAlertPolicyStillServesNamedClients) {
+  TlsConfig config;
+  config.sni_policy = SniPolicy::AlertAndClose;
+  config.chain_bytes = 1500;
+  TlsRig rig(config);
+  const auto stream = rig.run(/*with_sni=*/true);
+  const auto records = parse_stream(stream);
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records[0].type, ContentType::Handshake);
+}
+
+TEST(TlsServer, SilentClosePolicy) {
+  TlsConfig config;
+  config.sni_policy = SniPolicy::SilentClose;
+  TlsRig rig(config);
+  const auto stream = rig.run(false);
+  EXPECT_TRUE(stream.empty());
+  EXPECT_TRUE(rig.client->fin);
+}
+
+TEST(TlsServer, NoCommonCipherYieldsHandshakeFailure) {
+  TlsConfig config;
+  TlsRig rig(config);
+  const auto stream = rig.run(true, /*exotic_client=*/true);
+  const auto records = parse_stream(stream);
+  ASSERT_EQ(records.size(), 1u);
+  const auto alert = decode_alert(records[0].payload);
+  ASSERT_TRUE(alert);
+  EXPECT_EQ(alert->description, AlertDescription::HandshakeFailure);
+}
+
+}  // namespace
+}  // namespace iwscan::tls

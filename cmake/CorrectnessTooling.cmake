@@ -1,0 +1,54 @@
+# Opt-in correctness tooling: sanitizers, clang-tidy, libFuzzer.
+#
+# Included from the top-level CMakeLists.txt *before* any target is defined
+# so the flags reach every TU. See README.md "Correctness tooling" and
+# CMakePresets.json for the canonical configurations (asan-ubsan, tsan, tidy).
+
+# Comma-separated -fsanitize groups, e.g. "address,undefined" or "thread".
+set(IWSCAN_SANITIZE "" CACHE STRING
+    "Sanitizers to instrument with (address,undefined | thread | leak | '')")
+
+option(IWSCAN_CLANG_TIDY "Run clang-tidy (repo .clang-tidy) on every compiled TU" OFF)
+option(IWSCAN_LIBFUZZER
+       "Build tests/fuzz drivers as libFuzzer targets (requires Clang)" OFF)
+
+if(IWSCAN_SANITIZE)
+  if(IWSCAN_SANITIZE MATCHES "thread" AND IWSCAN_SANITIZE MATCHES "address")
+    message(FATAL_ERROR "IWSCAN_SANITIZE: 'thread' cannot be combined with 'address'")
+  endif()
+  set(_iwscan_san_flags
+      -fsanitize=${IWSCAN_SANITIZE}
+      -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+  add_compile_options(${_iwscan_san_flags})
+  add_link_options(-fsanitize=${IWSCAN_SANITIZE})
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+    # Sanitizer instrumentation changes GCC's inlining enough to trip
+    # -Wmaybe-uninitialized false positives inside libstdc++ (variant/vector
+    # internals). The plain build keeps the warning; the instrumented build
+    # relies on the sanitizers themselves to catch real uninitialized reads.
+    add_compile_options(-Wno-maybe-uninitialized)
+  endif()
+  message(STATUS "iwscan: sanitizers enabled: ${IWSCAN_SANITIZE}")
+endif()
+
+if(IWSCAN_CLANG_TIDY)
+  find_program(IWSCAN_CLANG_TIDY_EXE
+               NAMES clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17
+                     clang-tidy-16 clang-tidy-15)
+  if(NOT IWSCAN_CLANG_TIDY_EXE)
+    message(FATAL_ERROR
+            "IWSCAN_CLANG_TIDY=ON but no clang-tidy executable was found; "
+            "install clang-tidy or configure without the 'tidy' preset")
+  endif()
+  # The repo .clang-tidy supplies the check list; --warnings-as-errors there.
+  set(CMAKE_CXX_CLANG_TIDY ${IWSCAN_CLANG_TIDY_EXE})
+  message(STATUS "iwscan: clang-tidy wired into the build: ${IWSCAN_CLANG_TIDY_EXE}")
+endif()
+
+if(IWSCAN_LIBFUZZER AND NOT CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+  message(FATAL_ERROR
+          "IWSCAN_LIBFUZZER=ON requires Clang (libFuzzer ships with it); "
+          "current compiler: ${CMAKE_CXX_COMPILER_ID}. The deterministic "
+          "corpus drivers in tests/fuzz run under any compiler instead.")
+endif()

@@ -1,6 +1,7 @@
 #include "core/probe_strategy.hpp"
 
 #include "httpd/http_message.hpp"
+#include "util/bytes.hpp"
 #include "util/strings.hpp"
 
 namespace iwscan::core {
@@ -29,10 +30,7 @@ class HttpStrategy final : public ProbeStrategy {
     if (observation.outcome != ConnOutcome::FewData) return false;
     if (observation.prefix.empty()) return false;
 
-    const std::string_view text(
-        reinterpret_cast<const char*>(observation.prefix.data()),
-        observation.prefix.size());
-    const auto head = http::parse_response_head(text);
+    const auto head = http::parse_response_head(util::as_text(observation.prefix));
     if (!head) return false;
 
     if ((head->status == 301 || head->status == 302 || head->status == 307 ||

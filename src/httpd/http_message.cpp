@@ -68,8 +68,9 @@ std::string HttpResponse::serialize() const {
 
 RequestParser::Status RequestParser::feed(std::string_view data) {
   if (complete_) return Status::Complete;
+  if (invalid_) return Status::Invalid;
   buffer_.append(data);
-  if (buffer_.size() > kMaxHeaderBytes) return Status::Invalid;
+  if (buffer_.size() > kMaxHeaderBytes) return fail();
 
   const std::size_t end = buffer_.find("\r\n\r\n");
   if (end == std::string::npos) return Status::NeedMore;
@@ -81,26 +82,34 @@ RequestParser::Status RequestParser::feed(std::string_view data) {
 
   const auto parts = util::split(request_line, ' ');
   if (parts.size() != 3 || parts[0].empty() || parts[1].empty()) {
-    return Status::Invalid;
+    return fail();
   }
   request_.method = std::string(parts[0]);
   request_.target = std::string(parts[1]);
   request_.version = std::string(parts[2]);
-  if (!request_.version.starts_with("HTTP/")) return Status::Invalid;
+  if (!request_.version.starts_with("HTTP/")) return fail();
 
   request_.headers.clear();
   if (line_end != std::string_view::npos &&
       !parse_header_block(head.substr(line_end + 2), request_.headers)) {
-    return Status::Invalid;
+    return fail();
   }
   complete_ = true;
   return Status::Complete;
+}
+
+RequestParser::Status RequestParser::fail() {
+  // Latch: once a request is rejected, later bytes on the same connection
+  // must not resurrect it as a parse of a half-garbled buffer.
+  invalid_ = true;
+  return Status::Invalid;
 }
 
 void RequestParser::reset() {
   buffer_.clear();
   request_ = HttpRequest{};
   complete_ = false;
+  invalid_ = false;
 }
 
 std::optional<ParsedResponseHead> parse_response_head(std::string_view data) {
@@ -126,10 +135,15 @@ std::optional<ParsedResponseHead> parse_response_head(std::string_view data) {
   if (ec != std::errc{} || ptr != code_text.data() + code_text.size()) {
     return std::nullopt;
   }
+  // RFC 9112: the status code is exactly three digits. from_chars alone
+  // would accept "-5" or "12345" here.
+  if (status < 100 || status > 999) return std::nullopt;
 
   ParsedResponseHead parsed;
   parsed.status = status;
-  if (sp2 != std::string_view::npos) parsed.reason = std::string(status_line.substr(sp2 + 1));
+  if (sp2 != std::string_view::npos) {
+    parsed.reason = std::string(status_line.substr(sp2 + 1));
+  }
   parsed.header_bytes = end + 4;
   if (line_end != std::string_view::npos &&
       !parse_header_block(head.substr(line_end + 2), parsed.headers)) {
@@ -140,6 +154,12 @@ std::optional<ParsedResponseHead> parse_response_head(std::string_view data) {
 
 std::optional<std::string_view> ParsedResponseHead::header(std::string_view name) const {
   return find_header(headers, name);
+}
+
+std::optional<std::uint64_t> ParsedResponseHead::content_length() const {
+  const auto value = header("Content-Length");
+  if (!value) return std::nullopt;
+  return util::parse_u64(util::trim(*value));
 }
 
 std::optional<LocationParts> parse_location(std::string_view uri) {
@@ -159,18 +179,21 @@ std::optional<LocationParts> parse_location(std::string_view uri) {
   }
 
   const std::size_t slash = uri.find('/');
+  std::string_view authority = uri;
   if (slash == std::string_view::npos) {
-    parts.host = std::string(uri);
-    parts.path = "/";
+    // Move-assign rather than operator=(const char*): GCC 12's -Wrestrict
+    // false-positives on the char* assignment path (GCC PR105329).
+    parts.path = std::string("/");
   } else {
-    parts.host = std::string(uri.substr(0, slash));
+    authority = uri.substr(0, slash);
     parts.path = std::string(uri.substr(slash));
   }
-  if (parts.host.empty()) return std::nullopt;
+  if (authority.empty()) return std::nullopt;
   // Strip an explicit port from the authority.
-  if (const std::size_t colon = parts.host.find(':'); colon != std::string::npos) {
-    parts.host.resize(colon);
+  if (const std::size_t colon = authority.find(':'); colon != std::string_view::npos) {
+    authority = authority.substr(0, colon);
   }
+  parts.host = std::string(authority);
   return parts;
 }
 

@@ -55,9 +55,12 @@ class RequestParser {
   void reset();
 
  private:
+  Status fail();
+
   std::string buffer_;
   HttpRequest request_;
   bool complete_ = false;
+  bool invalid_ = false;
   // Guard against unbounded header growth from a hostile/buggy peer.
   static constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
 };
@@ -71,6 +74,11 @@ struct ParsedResponseHead {
   std::size_t header_bytes = 0;  // offset where the body starts
 
   [[nodiscard]] std::optional<std::string_view> header(std::string_view name) const;
+
+  /// Content-Length as an integer. nullopt when the header is absent,
+  /// non-numeric, or would overflow 64 bits (hostile responders announce
+  /// absurd lengths; never fold those into buffer arithmetic).
+  [[nodiscard]] std::optional<std::uint64_t> content_length() const;
 };
 
 [[nodiscard]] std::optional<ParsedResponseHead> parse_response_head(std::string_view data);

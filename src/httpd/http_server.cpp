@@ -2,6 +2,7 @@
 
 #include "netbase/ipv4.hpp"
 #include "tcpstack/host.hpp"
+#include "util/bytes.hpp"
 #include "util/strings.hpp"
 
 namespace iwscan::http {
@@ -23,8 +24,7 @@ void HttpServerApp::on_data(tcp::TcpConnection& conn,
     return;
   }
 
-  const std::string_view text(reinterpret_cast<const char*>(data.data()), data.size());
-  switch (parser_.feed(text)) {
+  switch (parser_.feed(util::as_text(data))) {
     case RequestParser::Status::NeedMore:
       return;
     case RequestParser::Status::Invalid:

@@ -5,7 +5,6 @@
 namespace iwscan::net {
 
 void Ipv4Header::encode(WireWriter& writer) const {
-  const std::size_t start = writer.offset();
   writer.u8(0x45);  // version 4, IHL 5
   writer.u8(tos);
   writer.u16(total_length);
@@ -33,7 +32,6 @@ void Ipv4Header::encode(WireWriter& writer) const {
   acc.add_u32(src.value());
   acc.add_u32(dst.value());
   writer.patch_u16(checksum_at, acc.finish());
-  (void)start;
 }
 
 std::optional<Ipv4Header> Ipv4Header::decode(WireReader& reader) {
@@ -103,7 +101,6 @@ std::optional<TcpHeader> TcpHeader::decode(WireReader& reader,
 }
 
 void IcmpMessage::encode(WireWriter& writer) const {
-  const std::size_t start = writer.offset();
   writer.u8(static_cast<std::uint8_t>(type));
   writer.u8(code);
   const std::size_t checksum_at = writer.offset();
@@ -118,7 +115,6 @@ void IcmpMessage::encode(WireWriter& writer) const {
   acc.add_u16(seq_or_mtu);
   acc.add(payload);
   writer.patch_u16(checksum_at, acc.finish());
-  (void)start;
 }
 
 std::optional<IcmpMessage> IcmpMessage::decode(std::span<const std::uint8_t> data) {

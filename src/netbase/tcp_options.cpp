@@ -1,5 +1,7 @@
 #include "netbase/tcp_options.hpp"
 
+#include <algorithm>
+
 namespace iwscan::net {
 namespace {
 
@@ -9,6 +11,13 @@ constexpr std::uint8_t kMss = 2;
 constexpr std::uint8_t kWindowScale = 3;
 constexpr std::uint8_t kSackPermitted = 4;
 
+// Largest payload an option can carry: the length octet covers kind+length.
+constexpr std::size_t kMaxOptionPayload = 253;
+
+std::size_t unknown_payload_size(const UnknownOption& opt) {
+  return std::min(opt.data.size(), kMaxOptionPayload);
+}
+
 std::size_t option_size(const TcpOption& option) {
   return std::visit(
       [](const auto& opt) -> std::size_t {
@@ -16,7 +25,8 @@ std::size_t option_size(const TcpOption& option) {
         if constexpr (std::is_same_v<T, MssOption>) return 4;
         if constexpr (std::is_same_v<T, WindowScaleOption>) return 3;
         if constexpr (std::is_same_v<T, SackPermittedOption>) return 2;
-        if constexpr (std::is_same_v<T, UnknownOption>) return 2 + opt.data.size();
+        if constexpr (std::is_same_v<T, UnknownOption>)
+          return 2 + unknown_payload_size(opt);
       },
       option);
 }
@@ -47,9 +57,12 @@ void encode_tcp_options(const std::vector<TcpOption>& options, WireWriter& write
             writer.u8(kSackPermitted);
             writer.u8(2);
           } else if constexpr (std::is_same_v<T, UnknownOption>) {
+            // The length octet is 8-bit; clamp instead of letting the cast
+            // truncate and desynchronize the length from the payload.
+            const std::size_t payload = unknown_payload_size(opt);
             writer.u8(opt.kind);
-            writer.u8(static_cast<std::uint8_t>(2 + opt.data.size()));
-            writer.raw(opt.data);
+            writer.u8(static_cast<std::uint8_t>(2 + payload));
+            writer.raw(std::span<const std::uint8_t>(opt.data).first(payload));
           }
         },
         option);

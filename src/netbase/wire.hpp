@@ -2,10 +2,12 @@
 // framing). Header-only; every access is bounds-checked on the read side.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,18 +45,34 @@ class WireWriter {
   /// Current write offset, for later patch_u16 (length fields).
   [[nodiscard]] std::size_t offset() const noexcept { return out_.size(); }
 
-  void patch_u8(std::size_t at, std::uint8_t v) { out_[at] = v; }
+  void patch_u8(std::size_t at, std::uint8_t v) {
+    check_patch(at, 1);
+    out_[at] = v;
+  }
   void patch_u16(std::size_t at, std::uint16_t v) {
+    check_patch(at, 2);
     out_[at] = static_cast<std::uint8_t>(v >> 8);
     out_[at + 1] = static_cast<std::uint8_t>(v);
   }
   void patch_u24(std::size_t at, std::uint32_t v) {
+    check_patch(at, 3);
     out_[at] = static_cast<std::uint8_t>(v >> 16);
     out_[at + 1] = static_cast<std::uint8_t>(v >> 8);
     out_[at + 2] = static_cast<std::uint8_t>(v);
   }
 
  private:
+  // A patch may only rewrite bytes that were already written; an offset
+  // reserved with offset() before the field was emitted would silently
+  // scribble past the vector otherwise.
+  void check_patch(std::size_t at, std::size_t len) const {
+    assert(at <= out_.size() && len <= out_.size() - at &&
+           "WireWriter::patch_* offset past end of written bytes");
+    if (at > out_.size() || len > out_.size() - at) {
+      throw std::out_of_range("WireWriter: patch offset past end of written bytes");
+    }
+  }
+
   Bytes& out_;
 };
 
@@ -102,12 +120,14 @@ class WireReader {
   }
 
  private:
+  // Overflow-safe: pos_ <= data_.size() is an invariant, so the subtraction
+  // cannot wrap, whereas `pos_ + n` could for attacker-derived n.
   bool require(std::size_t n) noexcept {
-    if (pos_ + n > data_.size()) {
+    if (!ok_ || n > data_.size() - pos_) {
       ok_ = false;
       return false;
     }
-    return ok_;
+    return true;
   }
 
   std::span<const std::uint8_t> data_;

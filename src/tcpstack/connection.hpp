@@ -15,6 +15,7 @@
 #include "netbase/packet.hpp"
 #include "netsim/event_loop.hpp"
 #include "tcpstack/config.hpp"
+#include "util/bytes.hpp"
 
 namespace iwscan::tcp {
 
@@ -70,10 +71,7 @@ class TcpConnection {
   // --- Application API -----------------------------------------------
   /// Queue response bytes; transmission is governed by cwnd/rwnd.
   void send(std::span<const std::uint8_t> data);
-  void send(std::string_view text) {
-    send(std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
-  }
+  void send(std::string_view text) { send(util::as_bytes(text)); }
   /// Half-close after all queued data: FIN goes out once the buffer drains.
   void close();
   /// Abort with RST.

@@ -119,8 +119,11 @@ std::optional<ClientHello> ClientHello::decode(std::span<const std::uint8_t> bod
 
   const std::uint16_t cipher_bytes = reader.u16();
   if (cipher_bytes % 2 != 0) return std::nullopt;
+  if (cipher_bytes > reader.remaining()) return std::nullopt;
   hello.cipher_suites.clear();
-  for (int i = 0; i < cipher_bytes / 2; ++i) hello.cipher_suites.push_back(reader.u16());
+  for (std::size_t i = 0; i < cipher_bytes / 2u; ++i) {
+    hello.cipher_suites.push_back(reader.u16());
+  }
 
   const std::uint8_t compression_len = reader.u8();
   const auto compressions = reader.raw(compression_len);
@@ -191,10 +194,14 @@ std::optional<ServerHello> ServerHello::decode(std::span<const std::uint8_t> bod
   if (!reader.ok()) return std::nullopt;
   if (reader.remaining() >= 2) {
     const std::uint16_t ext_total = reader.u16();
+    if (ext_total > reader.remaining()) return std::nullopt;
     net::WireReader ext(reader.raw(ext_total));
     while (ext.remaining() >= 4) {
       const std::uint16_t type = ext.u16();
       const std::uint16_t length = ext.u16();
+      // A length past the block would make skip() a no-op and stall the
+      // loop forever; treat it as the malformed extension block it is.
+      if (length > ext.remaining()) return std::nullopt;
       ext.skip(length);
       if (type == kExtStatusRequest) hello.ocsp_stapling = true;
     }

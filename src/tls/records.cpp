@@ -1,10 +1,16 @@
 #include "tls/records.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace iwscan::tls {
 
 void encode_record(const Record& record, net::Bytes& out) {
+  // A larger payload must go through encode_fragmented; the 16-bit length
+  // field would silently truncate and desync the record stream.
+  if (record.payload.size() > kMaxRecordPayload) {
+    throw std::length_error("TLS record payload exceeds 2^14 bytes");
+  }
   net::WireWriter writer(out);
   writer.u8(static_cast<std::uint8_t>(record.type));
   writer.u16(record.version);

@@ -1,0 +1,26 @@
+// Byte ↔ text bridging for codec boundaries (TCP payload bytes carrying
+// ASCII protocols). Centralizes the two reinterpret_casts the codebase
+// needs so call sites stay cast-free and greppable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace iwscan::util {
+
+/// View a byte buffer as text. The bytes must outlive the view.
+[[nodiscard]] inline std::string_view as_text(
+    std::span<const std::uint8_t> bytes) noexcept {
+  if (bytes.empty()) return {};
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+/// View text as raw bytes. The text must outlive the span.
+[[nodiscard]] inline std::span<const std::uint8_t> as_bytes(
+    std::string_view text) noexcept {
+  if (text.empty()) return {};
+  return {reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+}
+
+}  // namespace iwscan::util

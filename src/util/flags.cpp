@@ -9,25 +9,33 @@
 namespace iwscan::util {
 
 void Flags::define_u64(std::string name, std::uint64_t default_value, std::string help) {
-  Entry entry{.kind = Kind::U64, .help = std::move(help)};
+  Entry entry;
+  entry.kind = Kind::U64;
+  entry.help = std::move(help);
   entry.u64_value = default_value;
   entries_.emplace(std::move(name), std::move(entry));
 }
 
 void Flags::define_double(std::string name, double default_value, std::string help) {
-  Entry entry{.kind = Kind::Double, .help = std::move(help)};
+  Entry entry;
+  entry.kind = Kind::Double;
+  entry.help = std::move(help);
   entry.double_value = default_value;
   entries_.emplace(std::move(name), std::move(entry));
 }
 
 void Flags::define_bool(std::string name, bool default_value, std::string help) {
-  Entry entry{.kind = Kind::Bool, .help = std::move(help)};
+  Entry entry;
+  entry.kind = Kind::Bool;
+  entry.help = std::move(help);
   entry.bool_value = default_value;
   entries_.emplace(std::move(name), std::move(entry));
 }
 
 void Flags::define_string(std::string name, std::string default_value, std::string help) {
-  Entry entry{.kind = Kind::String, .help = std::move(help)};
+  Entry entry;
+  entry.kind = Kind::String;
+  entry.help = std::move(help);
   entry.string_value = std::move(default_value);
   entries_.emplace(std::move(name), std::move(entry));
 }

@@ -38,7 +38,7 @@ class Flags {
  private:
   enum class Kind { U64, Double, Bool, String };
   struct Entry {
-    Kind kind;
+    Kind kind = Kind::U64;
     std::string help;
     std::uint64_t u64_value = 0;
     double double_value = 0.0;

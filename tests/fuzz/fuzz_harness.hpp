@@ -1,0 +1,248 @@
+// Seeded-deterministic mutational fuzz driver for the wire codecs.
+//
+// Each driver supplies (a) a corpus of well-formed seed inputs built with
+// the project's own encoders and (b) a `fuzz_one` callback that must not
+// crash, hang, or trip a sanitizer on ANY byte string. The harness then
+// replays `iterations` mutated inputs (default 10000), derived purely from
+// a base seed, so every run — and every failure — is bit-reproducible.
+//
+// Reproducing a failure:
+//   1. Re-run with IWSCAN_FUZZ_TRACE=1: each case index is printed before
+//      it executes, so the last line names the crashing case.
+//   2. Replay exactly that case with `<driver> --case <index> [base_seed]`;
+//      it hexdumps the input and runs it alone (attach gdb / ASan here).
+//
+// Under IWSCAN_LIBFUZZER the same fuzz_one becomes an
+// LLVMFuzzerTestOneInput entry point for coverage-guided runs with Clang.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace iwscan::fuzz {
+
+using Input = std::vector<std::uint8_t>;
+
+/// splitmix64: tiny, seedable, and identical on every platform — exactly
+/// what reproducible corpus replay needs (std::mt19937 would also do, but
+/// its distributions are not portable across standard libraries).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-ish value in [0, bound); bound must be nonzero.
+  std::size_t below(std::size_t bound) noexcept { return next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+inline constexpr std::uint64_t kDefaultBaseSeed = 0x1575CA11'2017ULL;
+inline constexpr std::size_t kDefaultIterations = 10000;
+inline constexpr std::size_t kMaxInputSize = 8192;
+
+/// One mutation step over `data` (in place). Operators mirror the classic
+/// libFuzzer set: bit flips, byte stores, interesting values, insertions,
+/// erasures, duplications, truncation, length-field smashing, splicing.
+inline void mutate(Input& data, Rng& rng, const std::vector<Input>& corpus) {
+  static constexpr std::uint8_t kInteresting[] = {0x00, 0x01, 0x02, 0x10,
+                                                  0x7f, 0x80, 0xfe, 0xff};
+  switch (rng.below(10)) {
+    case 0:  // flip one bit
+      if (!data.empty()) data[rng.below(data.size())] ^= 1u << rng.below(8);
+      break;
+    case 1:  // store a random byte
+      if (!data.empty()) {
+        data[rng.below(data.size())] = static_cast<std::uint8_t>(rng.next());
+      }
+      break;
+    case 2:  // store an interesting byte
+      if (!data.empty()) {
+        data[rng.below(data.size())] = kInteresting[rng.below(sizeof(kInteresting))];
+      }
+      break;
+    case 3: {  // insert 1–8 random bytes
+      const std::size_t count = 1 + rng.below(8);
+      if (data.size() + count > kMaxInputSize) break;
+      const std::size_t at = data.empty() ? 0 : rng.below(data.size() + 1);
+      Input chunk(count);
+      for (auto& b : chunk) b = static_cast<std::uint8_t>(rng.next());
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(at), chunk.begin(),
+                  chunk.end());
+      break;
+    }
+    case 4: {  // erase a random range
+      if (data.empty()) break;
+      const std::size_t at = rng.below(data.size());
+      const std::size_t len = 1 + rng.below(data.size() - at);
+      data.erase(data.begin() + static_cast<std::ptrdiff_t>(at),
+                 data.begin() + static_cast<std::ptrdiff_t>(at + len));
+      break;
+    }
+    case 5: {  // duplicate a range back into the buffer
+      if (data.empty()) break;
+      const std::size_t at = rng.below(data.size());
+      const std::size_t len = 1 + rng.below(data.size() - at);
+      if (data.size() + len > kMaxInputSize) break;
+      const Input chunk(data.begin() + static_cast<std::ptrdiff_t>(at),
+                        data.begin() + static_cast<std::ptrdiff_t>(at + len));
+      const std::size_t dest = rng.below(data.size() + 1);
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(dest), chunk.begin(),
+                  chunk.end());
+      break;
+    }
+    case 6:  // truncate
+      if (!data.empty()) data.resize(rng.below(data.size() + 1));
+      break;
+    case 7: {  // smash a 16-bit big-endian field with an extreme length
+      if (data.size() < 2) break;
+      static constexpr std::uint16_t kLengths[] = {0x0000, 0x0001, 0x00ff, 0x0100,
+                                                   0x3fff, 0x4000, 0x7fff, 0x8000,
+                                                   0xfffe, 0xffff};
+      const std::uint16_t v = kLengths[rng.below(sizeof(kLengths) / 2)];
+      const std::size_t at = rng.below(data.size() - 1);
+      data[at] = static_cast<std::uint8_t>(v >> 8);
+      data[at + 1] = static_cast<std::uint8_t>(v);
+      break;
+    }
+    case 8: {  // append random bytes
+      const std::size_t count = 1 + rng.below(16);
+      if (data.size() + count > kMaxInputSize) break;
+      for (std::size_t i = 0; i < count; ++i) {
+        data.push_back(static_cast<std::uint8_t>(rng.next()));
+      }
+      break;
+    }
+    case 9: {  // splice a window from another corpus seed
+      if (corpus.empty()) break;
+      const Input& donor = corpus[rng.below(corpus.size())];
+      if (donor.empty()) break;
+      const std::size_t at = rng.below(donor.size());
+      const std::size_t len = 1 + rng.below(donor.size() - at);
+      if (data.size() + len > kMaxInputSize) break;
+      const std::size_t dest = data.empty() ? 0 : rng.below(data.size() + 1);
+      data.insert(data.begin() + static_cast<std::ptrdiff_t>(dest),
+                  donor.begin() + static_cast<std::ptrdiff_t>(at),
+                  donor.begin() + static_cast<std::ptrdiff_t>(at + len));
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// Build the input for case `index` from the corpus — pure function of
+/// (base_seed, index, corpus), which is what makes --case replay exact.
+inline Input build_case(std::uint64_t base_seed, std::size_t index,
+                        const std::vector<Input>& corpus) {
+  Rng rng(base_seed ^ (0x9e3779b97f4a7c15ULL * (index + 1)));
+  Input data;
+  if (!corpus.empty() && rng.below(16) != 0) {  // 1/16 cases start from scratch
+    data = corpus[rng.below(corpus.size())];
+  }
+  const std::size_t rounds = 1 + rng.below(6);
+  for (std::size_t i = 0; i < rounds; ++i) mutate(data, rng, corpus);
+  return data;
+}
+
+inline void hexdump(const Input& data) {
+  for (std::size_t i = 0; i < data.size(); i += 16) {
+    std::fprintf(stderr, "%06zx ", i);
+    for (std::size_t j = i; j < i + 16 && j < data.size(); ++j) {
+      std::fprintf(stderr, " %02x", data[j]);
+    }
+    std::fprintf(stderr, "\n");
+  }
+}
+
+using FuzzOne = void (*)(std::span<const std::uint8_t>);
+
+/// strtoull that rejects garbage instead of quietly yielding 0 — a mistyped
+/// case index must not replay case 0 and print "survived".
+inline bool parse_u64_arg(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(text, &end, 0);
+  return end != text && *end == '\0';
+}
+
+/// CLI: <driver> [iterations] [base_seed]  — corpus replay (ctest mode)
+///      <driver> --case <index> [base_seed] — replay a single case
+inline int run_driver(int argc, char** argv, FuzzOne one,
+                      const std::vector<Input>& corpus) {
+  std::uint64_t base_seed = kDefaultBaseSeed;
+  std::uint64_t iterations = kDefaultIterations;
+
+  if (argc >= 2 && std::strcmp(argv[1], "--case") == 0) {
+    std::uint64_t index = 0;
+    if (argc < 3 || !parse_u64_arg(argv[2], index) ||
+        (argc >= 4 && !parse_u64_arg(argv[3], base_seed))) {
+      std::fprintf(stderr, "usage: %s --case <index> [base_seed]\n", argv[0]);
+      return 2;
+    }
+    const Input data = build_case(base_seed, index, corpus);
+    std::fprintf(stderr, "case %zu (seed 0x%" PRIx64 "), %zu bytes:\n", index,
+                 base_seed, data.size());
+    hexdump(data);
+    one(data);
+    std::fprintf(stderr, "case %zu survived\n", index);
+    return 0;
+  }
+
+  if ((argc >= 2 && !parse_u64_arg(argv[1], iterations)) ||
+      (argc >= 3 && !parse_u64_arg(argv[2], base_seed))) {
+    std::fprintf(stderr, "usage: %s [iterations] [base_seed]\n", argv[0]);
+    return 2;
+  }
+  const bool trace = std::getenv("IWSCAN_FUZZ_TRACE") != nullptr;
+
+  // The unmutated seeds run first; trace names them too, so a crashing
+  // seed is attributable just like a crashing mutated case.
+  for (std::size_t s = 0; s < corpus.size(); ++s) {
+    if (trace) {
+      std::fprintf(stderr, "seed %zu\n", s);
+      std::fflush(stderr);
+    }
+    one(corpus[s]);
+  }
+  for (std::size_t i = 0; i < iterations; ++i) {
+    if (trace) {
+      std::fprintf(stderr, "case %zu\n", i);
+      std::fflush(stderr);
+    }
+    const Input data = build_case(base_seed, i, corpus);
+    one(data);
+  }
+  std::printf("%zu seed + %zu mutated inputs survived (base seed 0x%" PRIx64 ")\n",
+              corpus.size(), iterations, base_seed);
+  return 0;
+}
+
+}  // namespace iwscan::fuzz
+
+// Every driver defines `void fuzz_one(std::span<const std::uint8_t>)` and
+// `std::vector<iwscan::fuzz::Input> fuzz_corpus()`, then invokes this macro.
+#ifdef IWSCAN_LIBFUZZER
+#define IWSCAN_FUZZ_DRIVER(fuzz_one_fn, corpus_fn)                            \
+  extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,             \
+                                        std::size_t size) {                   \
+    fuzz_one_fn(std::span<const std::uint8_t>(data, size));                   \
+    return 0;                                                                 \
+  }
+#else
+#define IWSCAN_FUZZ_DRIVER(fuzz_one_fn, corpus_fn)                            \
+  int main(int argc, char** argv) {                                           \
+    return iwscan::fuzz::run_driver(argc, argv, fuzz_one_fn, corpus_fn());    \
+  }
+#endif

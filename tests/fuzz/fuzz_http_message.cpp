@@ -1,0 +1,113 @@
+// Structured fuzz driver for the HTTP codec (httpd/http_message).
+//
+// Covers both directions the scanner uses: parse_response_head on probe
+// answers (status line, headers, Content-Length, Location → redirect
+// following) and the incremental RequestParser the simulated servers run
+// on attacker-supplied request bytes.
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+
+#include "fuzz_harness.hpp"
+#include "httpd/http_message.hpp"
+#include "util/bytes.hpp"
+
+namespace {
+
+using iwscan::fuzz::Input;
+
+void require(bool condition, const char* what) {
+  if (!condition) {
+    std::fprintf(stderr, "http property violated: %s\n", what);
+    std::abort();
+  }
+}
+
+void fuzz_one(std::span<const std::uint8_t> data) {
+  namespace http = iwscan::http;
+  const std::string_view text = iwscan::util::as_text(data);
+
+  // ---- Response path (scanner side) ----
+  if (const auto head = http::parse_response_head(text)) {
+    require(head->header_bytes <= text.size(),
+            "header_bytes points past the input");
+    require(head->status >= 100 && head->status <= 999,
+            "status outside the three-digit range accepted");
+    (void)head->content_length();  // must never overflow or throw
+    if (const auto location = head->header("Location")) {
+      if (const auto parts = http::parse_location(*location)) {
+        require(parts->host.empty() || parts->host.find('/') == std::string::npos,
+                "parsed Location host contains a path separator");
+        require(!parts->path.empty(), "parsed Location path is empty");
+      }
+    }
+  }
+
+  // ---- Request path (simulated server side), hostile chunk sizes ----
+  static constexpr std::size_t kChunks[] = {1, 5, 113};
+  http::RequestParser parser;
+  std::size_t pos = 0;
+  std::size_t chunk_index = 0;
+  auto status = http::RequestParser::Status::NeedMore;
+  while (pos < text.size() && status == http::RequestParser::Status::NeedMore) {
+    const std::size_t n = std::min(kChunks[chunk_index % 3], text.size() - pos);
+    status = parser.feed(text.substr(pos, n));
+    ++chunk_index;
+    pos += n;
+  }
+  if (status == http::RequestParser::Status::Complete) {
+    const auto& request = parser.request();
+    require(request.version.starts_with("HTTP/"),
+            "completed request with a non-HTTP version token");
+    (void)request.wants_close();
+    (void)request.header("Host");
+    // Whole-buffer feed must agree with the chunked feed.
+    http::RequestParser whole;
+    require(whole.feed(text.substr(0, pos)) == http::RequestParser::Status::Complete,
+            "chunked vs whole-buffer parse disagree");
+    require(whole.request().method == request.method &&
+                whole.request().target == request.target,
+            "chunked vs whole-buffer request line disagree");
+  } else if (status == http::RequestParser::Status::Invalid) {
+    // Latched: anything fed afterwards must keep reporting Invalid.
+    require(parser.feed("GET / HTTP/1.1\r\n\r\n") ==
+                http::RequestParser::Status::Invalid,
+            "Invalid state did not latch");
+  }
+
+  // parse_location accepts arbitrary text directly.
+  (void)http::parse_location(text);
+}
+
+std::vector<Input> fuzz_corpus() {
+  namespace http = iwscan::http;
+  std::vector<Input> corpus;
+  const auto push = [&corpus](std::string_view text) {
+    corpus.emplace_back(text.begin(), text.end());
+  };
+
+  http::HttpResponse ok;
+  ok.status = 200;
+  ok.reason = "OK";
+  ok.headers.push_back({"Server", "Apache/2.4"});
+  ok.headers.push_back({"Content-Type", "text/html"});
+  ok.body = "<html><body>hello</body></html>";
+  push(ok.serialize());
+
+  http::HttpResponse redirect;
+  redirect.status = 301;
+  redirect.reason = "Moved Permanently";
+  redirect.headers.push_back({"Location", "http://www.example.com:8080/path?q=1"});
+  push(redirect.serialize());
+
+  push("GET / HTTP/1.1\r\nHost: example.com\r\nConnection: close\r\n\r\n");
+  push("GET /this-is-a-long-uri-xxxxxxxxxxxxxxxx HTTP/1.0\r\n\r\n");
+  push("HTTP/1.1 404 Not Found\r\nContent-Length: 99999999999999999999\r\n\r\n");
+  push("HTTP/1.1 200 OK\r\nServer: x\r\n");  // missing CRLFCRLF
+  push("220 device ready\r\n");              // raw banner, not HTTP at all
+  return corpus;
+}
+
+}  // namespace
+
+IWSCAN_FUZZ_DRIVER(fuzz_one, fuzz_corpus)

@@ -106,6 +106,50 @@ TEST(ParseResponseHead, RejectsPartialAndGarbage) {
   EXPECT_FALSE(parse_response_head(""));
 }
 
+TEST(ParseResponseHead, RejectsOutOfRangeStatus) {
+  // from_chars alone would happily parse these; the status must be the
+  // three-digit code RFC 9112 requires.
+  EXPECT_FALSE(parse_response_head("HTTP/1.1 -5 Bad\r\n\r\n"));
+  EXPECT_FALSE(parse_response_head("HTTP/1.1 99 Low\r\n\r\n"));
+  EXPECT_FALSE(parse_response_head("HTTP/1.1 12345 High\r\n\r\n"));
+  EXPECT_TRUE(parse_response_head("HTTP/1.1 100 Continue\r\n\r\n"));
+  EXPECT_TRUE(parse_response_head("HTTP/1.1 999 Max\r\n\r\n"));
+}
+
+TEST(ParseResponseHead, ContentLength) {
+  const auto head = parse_response_head(
+      "HTTP/1.1 200 OK\r\nContent-Length:  1234 \r\n\r\n");
+  ASSERT_TRUE(head);
+  EXPECT_EQ(head->content_length(), 1234u);
+
+  // Absent header.
+  EXPECT_FALSE(
+      parse_response_head("HTTP/1.1 200 OK\r\n\r\n")->content_length().has_value());
+  // Hostile responders announce absurd lengths: a value that overflows 64
+  // bits must come back as nullopt, never as a wrapped small number.
+  EXPECT_FALSE(parse_response_head(
+                   "HTTP/1.1 200 OK\r\nContent-Length: 99999999999999999999\r\n\r\n")
+                   ->content_length()
+                   .has_value());
+  // Non-numeric.
+  EXPECT_FALSE(parse_response_head("HTTP/1.1 200 OK\r\nContent-Length: ten\r\n\r\n")
+                   ->content_length()
+                   .has_value());
+  EXPECT_FALSE(parse_response_head("HTTP/1.1 200 OK\r\nContent-Length: 12kb\r\n\r\n")
+                   ->content_length()
+                   .has_value());
+}
+
+TEST(RequestParser, InvalidStateLatches) {
+  RequestParser parser;
+  EXPECT_EQ(parser.feed("NOT-HTTP\r\n\r\n"), RequestParser::Status::Invalid);
+  // A valid request on the same connection must not resurrect the parser…
+  EXPECT_EQ(parser.feed("GET / HTTP/1.1\r\n\r\n"), RequestParser::Status::Invalid);
+  // …until the server explicitly resets it.
+  parser.reset();
+  EXPECT_EQ(parser.feed("GET / HTTP/1.1\r\n\r\n"), RequestParser::Status::Complete);
+}
+
 TEST(ParseLocation, Variants) {
   auto parts = parse_location("http://www.example.net/path/x");
   ASSERT_TRUE(parts);

@@ -227,7 +227,9 @@ TEST(GroundTruth, CloudflareIsAllIw10) {
     if (gt.http && gt.http_category != HttpCategory::FewData) {
       EXPECT_EQ(gt.http_iw.segments, 10u);
     }
-    if (gt.tls) EXPECT_EQ(gt.tls_iw.segments, 10u);
+    if (gt.tls) {
+      EXPECT_EQ(gt.tls_iw.segments, 10u);
+    }
   }
 }
 

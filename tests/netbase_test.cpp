@@ -358,6 +358,46 @@ TEST(WireReader, U24AndPatches) {
   EXPECT_EQ(reader.remaining(), 0u);
 }
 
+TEST(WireWriter, PatchPastEndThrows) {
+  Bytes data;
+  WireWriter writer(data);
+  writer.u16(0xbeef);
+  // Entirely past the end.
+  EXPECT_THROW(writer.patch_u8(2, 1), std::out_of_range);
+  EXPECT_THROW(writer.patch_u16(2, 1), std::out_of_range);
+  EXPECT_THROW(writer.patch_u24(2, 1), std::out_of_range);
+  // Straddling the end: first byte in range, tail out.
+  EXPECT_THROW(writer.patch_u16(1, 1), std::out_of_range);
+  EXPECT_THROW(writer.patch_u24(0, 1), std::out_of_range);
+  // In range still works, and the failed patches wrote nothing.
+  writer.patch_u16(0, 0xcafe);
+  EXPECT_EQ(data, (Bytes{0xca, 0xfe}));
+}
+
+TEST(TcpOptions, OverrunKindRejected) {
+  // Unknown kind whose length runs past the buffer.
+  EXPECT_FALSE(decode_tcp_options(Bytes{99, 10, 1, 2}).has_value());
+  // Unknown kind with zero length (would never make progress).
+  EXPECT_FALSE(decode_tcp_options(Bytes{99, 0, 1, 2}).has_value());
+  // Unknown kind with length 1 (covers only the kind octet).
+  EXPECT_FALSE(decode_tcp_options(Bytes{99, 1, 1, 2}).has_value());
+}
+
+TEST(TcpOptions, OversizedUnknownPayloadClamped) {
+  // The option length octet tops out at 255 (2 + 253 payload bytes); the
+  // encoder must clamp, not truncate the length and desync the stream.
+  const std::vector<TcpOption> options = {UnknownOption{99, Bytes(300, 0xab)}};
+  Bytes bytes;
+  WireWriter writer(bytes);
+  encode_tcp_options(options, writer);
+  EXPECT_EQ(bytes.size(), encoded_tcp_options_size(options));
+  const auto decoded = decode_tcp_options(bytes);
+  ASSERT_TRUE(decoded);
+  const auto* unknown = std::get_if<UnknownOption>(&decoded->front());
+  ASSERT_NE(unknown, nullptr);
+  EXPECT_EQ(unknown->data.size(), 253u);
+}
+
 TEST(IPv4AddressHash, DispersesSequentialAddresses) {
   std::set<std::size_t> buckets;
   std::hash<IPv4Address> hasher;

@@ -84,6 +84,43 @@ TEST(Records, FragmentationSplitsLargePayloads) {
   EXPECT_EQ(records, 3);
 }
 
+TEST(Records, TruncatedHeaderStaysPending) {
+  // 1–4 header bytes must neither parse nor trip malformed(); the record
+  // completes once the remaining bytes arrive.
+  Record record;
+  record.payload = {0xaa, 0xbb};
+  net::Bytes wire;
+  encode_record(record, wire);
+  for (std::size_t cut = 1; cut < 5; ++cut) {
+    RecordReader reader;
+    reader.feed(std::span<const std::uint8_t>(wire).first(cut));
+    EXPECT_FALSE(reader.next().has_value()) << "cut at " << cut;
+    EXPECT_FALSE(reader.malformed()) << "cut at " << cut;
+    reader.feed(std::span<const std::uint8_t>(wire).subspan(cut));
+    const auto out = reader.next();
+    ASSERT_TRUE(out) << "cut at " << cut;
+    EXPECT_EQ(out->payload, record.payload);
+  }
+}
+
+TEST(Records, OversizedLengthRejected) {
+  RecordReader reader;
+  // Valid type/version but a length beyond the reader's tolerance.
+  reader.feed(net::Bytes{22, 3, 3, 0xff, 0xff});
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.malformed());
+}
+
+TEST(Records, EncodeOversizedPayloadThrows) {
+  Record record;
+  record.payload.assign(kMaxRecordPayload + 1, 0);
+  net::Bytes wire;
+  EXPECT_THROW(encode_record(record, wire), std::length_error);
+  // encode_fragmented is the sanctioned path for large payloads.
+  encode_fragmented(ContentType::Handshake, kTls12, record.payload, wire);
+  EXPECT_EQ(wire.size(), record.payload.size() + 2 * 5);
+}
+
 TEST(Records, MalformedTypeDetected) {
   RecordReader reader;
   reader.feed(net::Bytes{99, 3, 3, 0, 1, 0});
@@ -118,7 +155,8 @@ TEST(Handshake, ConcatenatedMessagesSplit) {
   for (const auto type :
        {HandshakeType::ServerHello, HandshakeType::Certificate,
         HandshakeType::ServerHelloDone}) {
-    const auto framed = encode_handshake(type, net::Bytes{static_cast<std::uint8_t>(type)});
+    const auto framed =
+        encode_handshake(type, net::Bytes{static_cast<std::uint8_t>(type)});
     flight.insert(flight.end(), framed.begin(), framed.end());
   }
   const auto messages = split_handshakes(flight);
@@ -181,6 +219,39 @@ TEST(ServerHello, RoundTripWithExtras) {
   EXPECT_EQ(decoded->cipher_suite, 0xC030);
   EXPECT_TRUE(decoded->ocsp_stapling);
   EXPECT_EQ(decoded->session_id.size(), 32u);
+}
+
+TEST(ServerHello, MalformedExtensionBlockRejected) {
+  // Regression: an extension whose length runs past the block used to make
+  // skip() a silent no-op and spin decode() forever. Must reject instead.
+  ServerHello hello;
+  hello.cipher_suite = 0xC02F;
+  auto body = hello.encode();
+  net::WireWriter writer(body);
+  writer.u16(8);       // extensions total: 8 bytes follow
+  writer.u16(0x0005);  // extension type
+  writer.u16(0xffff);  // extension length far past the block
+  writer.u16(0);       // filler so the loop condition holds
+  EXPECT_FALSE(ServerHello::decode(body).has_value());
+}
+
+TEST(ServerHello, ExtensionTotalPastBodyRejected) {
+  ServerHello hello;
+  auto body = hello.encode();
+  net::WireWriter writer(body);
+  writer.u16(0xffff);  // announces far more extension bytes than exist
+  EXPECT_FALSE(ServerHello::decode(body).has_value());
+}
+
+TEST(ClientHello, CipherLengthOverrunRejected) {
+  ClientHello hello;
+  hello.cipher_suites = {0xC02F};
+  auto body = hello.encode();
+  // cipher_suites length field sits after version(2) + random(32) +
+  // session_id_len(1): claim more suite bytes than the body holds.
+  body[35] = 0xff;
+  body[36] = 0xff;
+  EXPECT_FALSE(ClientHello::decode(body).has_value());
 }
 
 TEST(CertificateChain, RoundTrip) {

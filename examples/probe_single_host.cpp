@@ -16,6 +16,7 @@
 #include "netsim/network.hpp"
 #include "scanner/scan_engine.hpp"
 #include "tcpstack/host.hpp"
+#include "util/bytes.hpp"
 #include "util/flags.hpp"
 #include "util/strings.hpp"
 
@@ -166,8 +167,8 @@ int main(int argc, char** argv) {
   if (!flags.str("pcap").empty()) {
     const auto pcap = capture.pcap();
     std::ofstream file(flags.str("pcap"), std::ios::binary);
-    file.write(reinterpret_cast<const char*>(pcap.data()),
-               static_cast<std::streamsize>(pcap.size()));
+    const std::string_view text = iwscan::util::as_text(pcap);
+    file.write(text.data(), static_cast<std::streamsize>(text.size()));
     std::printf("wrote %zu packets to %s (Wireshark-compatible, linktype RAW)\n",
                 capture.size(), flags.str("pcap").c_str());
   }

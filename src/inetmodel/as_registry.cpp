@@ -1,7 +1,8 @@
 #include "inetmodel/as_registry.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "util/check.hpp"
 
 namespace iwscan::model {
 
@@ -254,7 +255,9 @@ struct AsSpec {
 }  // namespace
 
 AsRegistry AsRegistry::standard(int scale_log2) {
-  assert(scale_log2 >= 12 && scale_log2 <= 24);
+  IWSCAN_ASSERT(scale_log2 >= 12 && scale_log2 <= 24,
+                "AsRegistry::standard scale must stay within the synthetic "
+                "population's supported range");
 
   std::vector<AsSpec> specs;
 
@@ -444,7 +447,8 @@ AsRegistry AsRegistry::standard(int scale_log2) {
   std::uint32_t cursor = net::IPv4Address{10, 0, 0, 0}.value();
   for (const auto& spec : specs) {
     const int prefix_len = 32 - (scale_log2 - spec.size_delta);
-    assert(prefix_len >= 8 && prefix_len <= 28);
+    IWSCAN_ASSERT(prefix_len >= 8 && prefix_len <= 28,
+                  "AS spec size_delta pushed its prefix outside routable bounds");
     const std::uint64_t block = std::uint64_t{1} << (scale_log2 - spec.size_delta);
 
     AsInfo info;

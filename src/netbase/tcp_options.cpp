@@ -106,6 +106,8 @@ std::optional<std::vector<TcpOption>> decode_tcp_options(
         options.push_back(SackPermittedOption{});
         break;
       }
+      // iwlint: allow(wire-enum-default) -- unknown option kinds must
+      // round-trip as UnknownOption so foreign stacks stay representable (§3.1)
       default:
         options.push_back(UnknownOption{kind, Bytes(payload.begin(), payload.end())});
         break;

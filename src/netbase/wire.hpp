@@ -2,7 +2,6 @@
 // framing). Header-only; every access is bounds-checked on the read side.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <cstring>
 #include <optional>
@@ -64,10 +63,10 @@ class WireWriter {
  private:
   // A patch may only rewrite bytes that were already written; an offset
   // reserved with offset() before the field was emitted would silently
-  // scribble past the vector otherwise.
+  // scribble past the vector otherwise. The exception is the check itself
+  // (callers and fuzz drivers recover from it); an assert would be dead
+  // under NDEBUG and would turn the recoverable error into an abort.
   void check_patch(std::size_t at, std::size_t len) const {
-    assert(at <= out_.size() && len <= out_.size() - at &&
-           "WireWriter::patch_* offset past end of written bytes");
     if (at > out_.size() || len > out_.size() - at) {
       throw std::out_of_range("WireWriter: patch offset past end of written bytes");
     }

@@ -1,0 +1,43 @@
+// Runtime invariant checks that stay armed in every build type.
+//
+// assert() compiles away under NDEBUG — which is exactly what the default
+// RelWithDebInfo build defines, so a violated invariant in a long scan run
+// would sail through silently. IWSCAN_ASSERT/IWSCAN_UNREACHABLE always
+// check, print message + file:line, and abort() so ASan/UBSan dump a
+// symbolized stack trace. iwlint's banned-call rule rejects raw assert()
+// in favour of these.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace iwscan::util::detail {
+
+[[noreturn]] inline void check_fail(const char* kind, const char* condition,
+                                    const char* message, const char* file,
+                                    int line) noexcept {
+  if (condition != nullptr) {
+    std::fprintf(stderr, "%s:%d: %s(%s) failed: %s\n", file, line, kind, condition,
+                 message);
+  } else {
+    std::fprintf(stderr, "%s:%d: %s: %s\n", file, line, kind, message);
+  }
+  std::fflush(stderr);
+  std::abort();  // abort (not exit) so sanitizers print the stack trace
+}
+
+}  // namespace iwscan::util::detail
+
+/// Always-on invariant check: IWSCAN_ASSERT(cond, "what went wrong").
+#define IWSCAN_ASSERT(cond, msg)                                               \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      ::iwscan::util::detail::check_fail("IWSCAN_ASSERT", #cond, (msg),        \
+                                         __FILE__, __LINE__);                  \
+    }                                                                          \
+  } while (false)
+
+/// Marks code that must be unreachable; aborts with a trace if it is not.
+#define IWSCAN_UNREACHABLE(msg)                                                \
+  ::iwscan::util::detail::check_fail("IWSCAN_UNREACHABLE", nullptr, (msg),     \
+                                     __FILE__, __LINE__)

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "util/check.hpp"
+
 namespace iwscan::util {
 
 std::string_view to_string(LogLevel level) noexcept {
@@ -12,7 +14,7 @@ std::string_view to_string(LogLevel level) noexcept {
     case LogLevel::Warn: return "WARN";
     case LogLevel::Error: return "ERROR";
   }
-  return "?";
+  IWSCAN_UNREACHABLE("LogLevel out of range");
 }
 
 Logger::Logger()

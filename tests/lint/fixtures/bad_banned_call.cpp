@@ -1,0 +1,16 @@
+// Linted as src/netbase/bad_banned_call.cpp: memcpy outside the bytes.hpp
+// allowlist, a raw assert, and wall-clock time().
+#include <cassert>
+#include <cstring>
+#include <ctime>
+
+namespace iwscan::net {
+
+void copy_bytes(char* dst, const char* src, unsigned long n) {
+  assert(n > 0);
+  std::memcpy(dst, src, n);
+}
+
+long stamp() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace iwscan::net

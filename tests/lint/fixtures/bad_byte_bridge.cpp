@@ -1,0 +1,16 @@
+// Linted as src/core/bad_byte_bridge.cpp: one reinterpret_cast and one
+// C-style pointer cast, both outside util/bytes.hpp.
+#include <cstdint>
+#include <string_view>
+
+namespace iwscan::core {
+
+std::string_view leak_bytes(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+const char* leak_more(const std::uint8_t* data) {
+  return (const char*)data;
+}
+
+}  // namespace iwscan::core

@@ -1,0 +1,17 @@
+// Linted as src/scanner/bad_determinism.cpp: entropy and wall clocks are
+// banned outside src/util/rng.cpp and src/netsim/. The same bytes linted as
+// a src/netsim/ path must produce zero findings.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+namespace iwscan::scan {
+
+unsigned long entropy() {
+  std::random_device device;
+  srand(42);
+  const auto now = std::chrono::steady_clock::now();
+  return device() + static_cast<unsigned long>(now.time_since_epoch().count());
+}
+
+}  // namespace iwscan::scan

@@ -1,0 +1,7 @@
+// Linted as src/netbase/bad_header_hygiene.hpp: no #pragma once before the
+// first code, and the namespace belongs to another module.
+#include <cstdint>
+
+namespace iwscan::tls {
+inline std::uint8_t wrong_home() { return 0; }
+}  // namespace iwscan::tls

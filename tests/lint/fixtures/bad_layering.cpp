@@ -1,0 +1,8 @@
+// Linted as src/netbase/bad_layering.cpp: netbase sits below tcpstack in the
+// module DAG, so both includes must be flagged.
+#include "tcpstack/config.hpp"
+#include "not_a_module.hpp"
+
+namespace iwscan::net {
+int unused_layering_probe() { return 1; }
+}  // namespace iwscan::net

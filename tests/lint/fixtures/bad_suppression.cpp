@@ -1,0 +1,11 @@
+// Linted as src/core/bad_suppression.cpp: a suppression with no
+// justification is itself a finding, and it suppresses nothing.
+#include <cstdint>
+
+namespace iwscan::core {
+
+const char* unjustified(const std::uint8_t* data) {
+  return reinterpret_cast<const char*>(data);  // iwlint: allow(byte-bridge)
+}
+
+}  // namespace iwscan::core

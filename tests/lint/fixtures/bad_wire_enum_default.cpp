@@ -1,0 +1,18 @@
+// Linted as src/tls/bad_wire_enum_default.cpp: the default: hides any newly
+// registered ContentType from -Wswitch.
+#include "tls/records.hpp"
+
+namespace iwscan::tls {
+
+int classify(ContentType type) {
+  switch (type) {
+    case ContentType::Handshake:
+      return 1;
+    case ContentType::Alert:
+      return 2;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace iwscan::tls

@@ -1,0 +1,20 @@
+// Linted as src/netbase/good_banned_call.cpp: std::copy, IWSCAN_ASSERT and a
+// member function that merely shares a banned name.
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace iwscan::net {
+
+struct Clock {
+  long time() const { return 0; }  // member named time(): not the libc call
+};
+
+void copy_bytes(char* dst, const char* src, unsigned long n) {
+  IWSCAN_ASSERT(n > 0, "empty copy is a caller bug");
+  std::copy(src, src + n, dst);
+}
+
+long stamp(const Clock& clock) { return clock.time(); }
+
+}  // namespace iwscan::net

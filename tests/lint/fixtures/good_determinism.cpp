@@ -1,0 +1,12 @@
+// Linted as src/scanner/good_determinism.cpp: explicitly seeded RNG and
+// virtual time keep permutation sweeps replayable.
+#include "util/rng.hpp"
+
+namespace iwscan::scan {
+
+unsigned long draw(unsigned long seed) {
+  util::Rng rng(seed);
+  return static_cast<unsigned long>(rng());
+}
+
+}  // namespace iwscan::scan

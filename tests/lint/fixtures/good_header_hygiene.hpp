@@ -1,0 +1,8 @@
+// Linted as src/netbase/good_header_hygiene.hpp.
+#pragma once
+
+#include <cstdint>
+
+namespace iwscan::net {
+inline std::uint8_t right_home() { return 0; }
+}  // namespace iwscan::net

@@ -1,0 +1,13 @@
+// Linted as src/tcpstack/good_layering.cpp: tcpstack may use netsim, netbase
+// and util, plus its own headers and any system header.
+#include "tcpstack/config.hpp"
+
+#include <vector>
+
+#include "netbase/wire.hpp"
+#include "netsim/event_loop.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::tcp {
+int unused_layering_probe() { return 0; }
+}  // namespace iwscan::tcp

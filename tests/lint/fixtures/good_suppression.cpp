@@ -1,0 +1,16 @@
+// Linted as src/core/good_suppression.cpp: a justified suppression silences
+// exactly the named rule on that line, whether trailing or on its own line.
+#include <cstdint>
+
+namespace iwscan::core {
+
+const char* justified(const std::uint8_t* data) {
+  // iwlint: allow(byte-bridge) -- fixture exercising a whole-line suppression
+  return reinterpret_cast<const char*>(data);
+}
+
+const char* trailing(const std::uint8_t* data) {
+  return reinterpret_cast<const char*>(data);  // iwlint: allow(byte-bridge) -- fixture
+}
+
+}  // namespace iwscan::core

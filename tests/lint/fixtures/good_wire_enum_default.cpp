@@ -1,0 +1,32 @@
+// Linted as src/tls/good_wire_enum_default.cpp: wire enums enumerated
+// exhaustively; a default over a non-wire enum stays legal.
+#include "tls/records.hpp"
+
+namespace iwscan::tls {
+
+enum class LocalMode { Fast, Careful };
+
+int classify(ContentType type) {
+  switch (type) {
+    case ContentType::ChangeCipherSpec:
+      return 0;
+    case ContentType::Alert:
+      return 2;
+    case ContentType::Handshake:
+      return 1;
+    case ContentType::ApplicationData:
+      return 3;
+  }
+  return -1;
+}
+
+int cost(LocalMode mode) {
+  switch (mode) {
+    case LocalMode::Fast:
+      return 1;
+    default:
+      return 10;
+  }
+}
+
+}  // namespace iwscan::tls

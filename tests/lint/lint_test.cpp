@@ -1,0 +1,171 @@
+// Fixture tests for iwlint: every rule must flag its bad snippet, pass its
+// good twin, and go quiet when disabled — so gutting a rule in the analyzer
+// fails here even though the tree lint would simply stop reporting.
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "iwlint.hpp"
+
+namespace {
+
+using iwscan::lint::Finding;
+using iwscan::lint::Options;
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(IWSCAN_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<Finding> lint_fixture(const std::string& name,
+                                  const std::string& pretend_path,
+                                  const Options& options = {}) {
+  return iwscan::lint::lint_source(pretend_path, read_fixture(name), options);
+}
+
+std::map<std::string, int> count_by_rule(const std::vector<Finding>& findings) {
+  std::map<std::string, int> counts;
+  for (const auto& finding : findings) ++counts[finding.rule];
+  return counts;
+}
+
+struct RuleFixture {
+  std::string rule;
+  std::string bad_fixture;
+  std::string bad_path;  // pretend repo-relative path for the bad snippet
+  int bad_findings;
+  std::string good_fixture;
+  std::string good_path;
+};
+
+const std::vector<RuleFixture>& rule_fixtures() {
+  static const std::vector<RuleFixture> fixtures = {
+      {"layering", "bad_layering.cpp", "src/netbase/bad_layering.cpp", 2,
+       "good_layering.cpp", "src/tcpstack/good_layering.cpp"},
+      {"byte-bridge", "bad_byte_bridge.cpp", "src/core/bad_byte_bridge.cpp", 2,
+       "good_byte_bridge.cpp", "src/core/good_byte_bridge.cpp"},
+      {"banned-call", "bad_banned_call.cpp", "src/netbase/bad_banned_call.cpp", 3,
+       "good_banned_call.cpp", "src/netbase/good_banned_call.cpp"},
+      {"wire-enum-default", "bad_wire_enum_default.cpp",
+       "src/tls/bad_wire_enum_default.cpp", 1, "good_wire_enum_default.cpp",
+       "src/tls/good_wire_enum_default.cpp"},
+      {"header-hygiene", "bad_header_hygiene.hpp",
+       "src/netbase/bad_header_hygiene.hpp", 3, "good_header_hygiene.hpp",
+       "src/netbase/good_header_hygiene.hpp"},
+      {"determinism", "bad_determinism.cpp", "src/scanner/bad_determinism.cpp", 3,
+       "good_determinism.cpp", "src/scanner/good_determinism.cpp"},
+  };
+  return fixtures;
+}
+
+TEST(IwlintRules, BadFixturesFlagExactlyTheirRule) {
+  for (const auto& fixture : rule_fixtures()) {
+    const auto findings = lint_fixture(fixture.bad_fixture, fixture.bad_path);
+    const auto counts = count_by_rule(findings);
+    ASSERT_EQ(counts.size(), 1u) << fixture.rule << ": unexpected extra rules";
+    EXPECT_EQ(counts.begin()->first, fixture.rule);
+    EXPECT_EQ(counts.begin()->second, fixture.bad_findings) << fixture.rule;
+    for (const auto& finding : findings) {
+      EXPECT_EQ(finding.file, fixture.bad_path);
+      EXPECT_GT(finding.line, 0) << fixture.rule;
+      EXPECT_FALSE(finding.message.empty()) << fixture.rule;
+    }
+  }
+}
+
+TEST(IwlintRules, GoodFixturesAreClean) {
+  for (const auto& fixture : rule_fixtures()) {
+    const auto findings = lint_fixture(fixture.good_fixture, fixture.good_path);
+    EXPECT_TRUE(findings.empty())
+        << fixture.rule << ": "
+        << (findings.empty() ? "" : iwscan::lint::format_text(findings.front()));
+  }
+}
+
+// The acceptance property: disabling a rule silences its bad fixture, so a
+// rule that silently stopped firing cannot hide behind a green tree lint.
+TEST(IwlintRules, EachRuleIsLoadBearing) {
+  for (const auto& fixture : rule_fixtures()) {
+    Options disabled;
+    disabled.disabled_rules.push_back(fixture.rule);
+    EXPECT_FALSE(lint_fixture(fixture.bad_fixture, fixture.bad_path).empty())
+        << fixture.rule;
+    EXPECT_TRUE(
+        lint_fixture(fixture.bad_fixture, fixture.bad_path, disabled).empty())
+        << fixture.rule;
+  }
+}
+
+TEST(IwlintSuppression, JustificationIsMandatory) {
+  const auto findings =
+      lint_fixture("bad_suppression.cpp", "src/core/bad_suppression.cpp");
+  const auto counts = count_by_rule(findings);
+  // The unjustified allow() is flagged AND fails to suppress the underlying
+  // byte-bridge finding.
+  EXPECT_EQ(counts.at("suppression"), 1);
+  EXPECT_EQ(counts.at("byte-bridge"), 1);
+}
+
+TEST(IwlintSuppression, JustifiedSuppressionSilencesTrailingAndWholeLine) {
+  const auto findings =
+      lint_fixture("good_suppression.cpp", "src/core/good_suppression.cpp");
+  EXPECT_TRUE(findings.empty())
+      << (findings.empty() ? "" : iwscan::lint::format_text(findings.front()));
+}
+
+TEST(IwlintSuppression, UnknownRuleNameIsFlagged) {
+  const auto findings = iwscan::lint::lint_source(
+      "src/core/x.cpp",
+      "// iwlint: allow(no-such-rule) -- justified but meaningless\nint x;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "suppression");
+}
+
+TEST(IwlintDeterminism, NetsimAndRngImplementationAreAllowlisted) {
+  const auto content = read_fixture("bad_determinism.cpp");
+  EXPECT_FALSE(
+      iwscan::lint::lint_source("src/scanner/bad_determinism.cpp", content).empty());
+  EXPECT_TRUE(
+      iwscan::lint::lint_source("src/netsim/bad_determinism.cpp", content).empty());
+  EXPECT_TRUE(iwscan::lint::lint_source("src/util/rng.cpp", content).empty());
+}
+
+TEST(IwlintLayering, TestsBenchExamplesSeeEverything) {
+  const std::string content = "#include \"analysis/report.hpp\"\nint x;\n";
+  EXPECT_TRUE(iwscan::lint::lint_source("tests/foo_test.cpp", content).empty());
+  EXPECT_TRUE(iwscan::lint::lint_source("bench/bench_foo.cpp", content).empty());
+  EXPECT_TRUE(iwscan::lint::lint_source("examples/foo.cpp", content).empty());
+  // ...but netbase must not reach up into analysis.
+  EXPECT_FALSE(iwscan::lint::lint_source("src/netbase/foo.cpp", content).empty());
+}
+
+TEST(IwlintOutput, TextAndJsonFormats) {
+  const Finding finding{"src/a.cpp", 7, "layering", "msg with \"quotes\""};
+  EXPECT_EQ(iwscan::lint::format_text(finding),
+            "src/a.cpp:7: layering: msg with \"quotes\"");
+  const std::string json = iwscan::lint::format_json({finding});
+  EXPECT_NE(json.find("\"line\": 7"), std::string::npos);
+  EXPECT_NE(json.find("msg with \\\"quotes\\\""), std::string::npos);
+  EXPECT_EQ(iwscan::lint::format_json({}), "[]\n");
+}
+
+TEST(IwlintTree, WholeRepositoryLintsClean) {
+  std::vector<std::string> io_errors;
+  const auto findings = iwscan::lint::lint_tree(
+      IWSCAN_LINT_REPO_ROOT, {"src", "tests", "bench", "examples", "tools"}, {},
+      &io_errors);
+  EXPECT_TRUE(io_errors.empty());
+  for (const auto& finding : findings) {
+    ADD_FAILURE() << iwscan::lint::format_text(finding);
+  }
+}
+
+}  // namespace

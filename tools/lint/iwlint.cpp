@@ -1,0 +1,833 @@
+#include "iwlint.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace iwscan::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Module registry: the DAG from DESIGN.md §3.
+//   util → netbase → netsim → tcpstack → {httpd, tls} → scanner → core →
+//   inetmodel → analysis
+// `deps` lists every module a file in `dir` may include (its own module is
+// always allowed). scanner deliberately omits the protocol layers: the
+// ZMap-style engine must stay swappable against real probe modules.
+// ---------------------------------------------------------------------------
+
+struct ModuleSpec {
+  std::string_view dir;  // directory under src/
+  std::string_view ns;   // required namespace: iwscan::<ns>
+  std::vector<std::string_view> deps;
+};
+
+const std::vector<ModuleSpec>& modules() {
+  static const std::vector<ModuleSpec> specs = {
+      {"util", "util", {}},
+      {"netbase", "net", {"util"}},
+      {"netsim", "sim", {"util", "netbase"}},
+      {"tcpstack", "tcp", {"util", "netbase", "netsim"}},
+      {"httpd", "http", {"util", "netbase", "netsim", "tcpstack"}},
+      {"tls", "tls", {"util", "netbase", "netsim", "tcpstack"}},
+      {"scanner", "scan", {"util", "netbase", "netsim"}},
+      {"core", "core",
+       {"util", "netbase", "netsim", "tcpstack", "httpd", "tls", "scanner"}},
+      {"inetmodel", "model", {"util", "netbase", "netsim", "tcpstack", "httpd", "tls"}},
+      {"analysis", "analysis",
+       {"util", "netbase", "netsim", "tcpstack", "httpd", "tls", "scanner", "core",
+        "inetmodel"}},
+  };
+  return specs;
+}
+
+const ModuleSpec* find_module(std::string_view dir) {
+  for (const auto& spec : modules()) {
+    if (spec.dir == dir) return &spec;
+  }
+  return nullptr;
+}
+
+// Wire enums whose switches must stay default-free so a newly registered
+// value is a compile-time (-Wswitch) event, not a silent fall-through.
+// Matched against qualified case labels (`tls::HandshakeType::ClientHello`
+// contains "HandshakeType"; `RequestParser::Status::Complete` contains
+// "RequestParser").
+constexpr std::array<std::string_view, 6> kWireEnums = {
+    "ContentType",      // TLS record types (tls/records.hpp)
+    "HandshakeType",    // TLS handshake types (tls/handshake.hpp)
+    "AlertLevel",       // TLS alerts (tls/records.hpp)
+    "AlertDescription", // TLS alerts (tls/records.hpp)
+    "IcmpType",         // ICMP message types (netbase/headers.hpp)
+    "RequestParser",    // HTTP parser states (httpd/http_message.hpp)
+};
+
+// TCP option kinds are plain constants, not an enum class; a switch whose
+// case labels use any of these is a wire-kind dispatch all the same.
+constexpr std::array<std::string_view, 3> kTcpOptionKinds = {
+    "kMss", "kWindowScale", "kSackPermitted"};
+
+struct BannedCall {
+  std::string_view name;
+  std::string_view message;
+  std::vector<std::string_view> allowed_paths;
+};
+
+const std::vector<BannedCall>& banned_calls() {
+  static const std::vector<BannedCall> calls = {
+      {"memcpy",
+       "raw memcpy bypasses the byte/text bridge; use std::copy/std::ranges::copy "
+       "or the helpers in util/bytes.hpp",
+       {"src/util/bytes.hpp"}},
+      {"sprintf", "unbounded sprintf; use std::snprintf or util/strings.hpp", {}},
+      {"atoi", "atoi has no error reporting; use std::from_chars", {}},
+      {"strtol", "strtol error handling is errno-based; use std::from_chars", {}},
+      {"rand",
+       "rand() breaks seeded determinism; draw from an explicitly seeded "
+       "util::Rng",
+       {}},
+      {"time",
+       "wall-clock time breaks replayable scans; use the event loop's virtual "
+       "now()",
+       {}},
+      {"assert",
+       "assert() vanishes under NDEBUG; use IWSCAN_ASSERT/IWSCAN_UNREACHABLE "
+       "from util/check.hpp",
+       {}},
+  };
+  return calls;
+}
+
+// std::random_device / srand / *_clock::now undermine the bit-reproducible
+// permutation sweeps and fuzz corpora; only the seeded RNG implementation
+// and the simulator's virtual-time internals may touch entropy or clocks.
+constexpr std::array<std::string_view, 2> kDeterminismAllowedPrefixes = {
+    "src/util/rng.cpp", "src/netsim/"};
+
+constexpr std::array<std::string_view, 3> kBannedClocks = {
+    "steady_clock", "system_clock", "high_resolution_clock"};
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { Ident, Number, Str, CharLit, Punct };
+
+struct Token {
+  TokKind kind;
+  std::string_view text;
+  int line;
+};
+
+struct IncludeDirective {
+  int line;
+  std::string_view target;
+  bool angled;
+};
+
+struct Comment {
+  int line;  // line the comment starts on
+  std::string_view text;
+};
+
+struct ScanResult {
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<Comment> comments;
+  std::set<int> code_lines;            // lines holding at least one token/directive
+  int first_code_line = 0;             // 0 = file holds no code at all
+  bool first_code_is_pragma_once = false;
+};
+
+bool is_ident_start(char c) {
+  return (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+bool is_ident_char(char c) {
+  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
+}
+
+ScanResult tokenize(std::string_view src) {
+  ScanResult out;
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto note_code = [&](int at_line) {
+    out.code_lines.insert(at_line);
+    if (out.first_code_line == 0) out.first_code_line = at_line;
+  };
+
+  auto skip_string = [&](char quote) {
+    // i points at the opening quote.
+    ++i;
+    while (i < src.size() && src[i] != quote) {
+      if (src[i] == '\\' && i + 1 < src.size()) ++i;
+      if (src[i] == '\n') ++line;  // unterminated/multiline literal: keep counting
+      ++i;
+    }
+    if (i < src.size()) ++i;  // closing quote
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < src.size() && src[i] != '\n') ++i;
+      out.comments.push_back({line, src.substr(start, i - start)});
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      const std::size_t start = i;
+      const int start_line = line;
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < src.size()) ? i + 2 : src.size();
+      out.comments.push_back({start_line, src.substr(start, i - start)});
+      at_line_start = false;
+      continue;
+    }
+
+    // Preprocessor directives (only at the start of a line).
+    if (c == '#' && at_line_start) {
+      const int dir_line = line;
+      ++i;
+      while (i < src.size() && (src[i] == ' ' || src[i] == '\t')) ++i;
+      std::size_t word_start = i;
+      while (i < src.size() && is_ident_char(src[i])) ++i;
+      const std::string_view word = src.substr(word_start, i - word_start);
+      if (word == "include") {
+        while (i < src.size() && (src[i] == ' ' || src[i] == '\t')) ++i;
+        if (i < src.size() && (src[i] == '"' || src[i] == '<')) {
+          const char close = (src[i] == '<') ? '>' : '"';
+          const bool angled = (src[i] == '<');
+          ++i;
+          const std::size_t target_start = i;
+          while (i < src.size() && src[i] != close && src[i] != '\n') ++i;
+          out.includes.push_back(
+              {dir_line, src.substr(target_start, i - target_start), angled});
+          if (i < src.size() && src[i] == close) ++i;
+        }
+        note_code(dir_line);
+      } else if (word == "pragma") {
+        while (i < src.size() && (src[i] == ' ' || src[i] == '\t')) ++i;
+        word_start = i;
+        while (i < src.size() && is_ident_char(src[i])) ++i;
+        if (out.first_code_line == 0 && src.substr(word_start, i - word_start) == "once") {
+          out.first_code_is_pragma_once = true;
+        }
+        note_code(dir_line);
+      } else {
+        // Other directives (#define, #if, ...): the keyword is consumed and
+        // the body falls through to normal tokenization so banned calls
+        // inside macro bodies are still seen.
+        note_code(dir_line);
+      }
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // String / char literals (incl. raw strings via their encoding prefix).
+    if (c == '"') {
+      const std::size_t start = i;
+      skip_string('"');
+      out.tokens.push_back({TokKind::Str, src.substr(start, i - start), line});
+      note_code(line);
+      continue;
+    }
+    if (c == '\'') {
+      const std::size_t start = i;
+      skip_string('\'');
+      out.tokens.push_back({TokKind::CharLit, src.substr(start, i - start), line});
+      note_code(line);
+      continue;
+    }
+
+    if (is_ident_start(c)) {
+      const std::size_t start = i;
+      while (i < src.size() && is_ident_char(src[i])) ++i;
+      const std::string_view word = src.substr(start, i - start);
+      const bool raw_prefix = (word == "R" || word == "u8R" || word == "uR" ||
+                               word == "UR" || word == "LR");
+      if (raw_prefix && i < src.size() && src[i] == '"') {
+        // Raw string: R"delim( ... )delim".
+        ++i;
+        const std::size_t delim_start = i;
+        while (i < src.size() && src[i] != '(') ++i;
+        const std::string terminator =
+            ")" + std::string(src.substr(delim_start, i - delim_start)) + "\"";
+        const std::size_t body = (i < src.size()) ? i + 1 : i;
+        const std::size_t end = src.find(terminator, body);
+        const std::size_t stop =
+            (end == std::string_view::npos) ? src.size() : end + terminator.size();
+        line += static_cast<int>(std::count(src.begin() + static_cast<long>(start),
+                                            src.begin() + static_cast<long>(stop), '\n'));
+        out.tokens.push_back({TokKind::Str, src.substr(start, stop - start), line});
+        i = stop;
+      } else {
+        out.tokens.push_back({TokKind::Ident, word, line});
+      }
+      note_code(line);
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const std::size_t start = i;
+      while (i < src.size() &&
+             (is_ident_char(src[i]) || src[i] == '.' ||
+              (src[i] == '\'' && i + 1 < src.size() && is_ident_char(src[i + 1])))) {
+        ++i;
+      }
+      out.tokens.push_back({TokKind::Number, src.substr(start, i - start), line});
+      note_code(line);
+      continue;
+    }
+
+    // Punctuation. '::' is one token (qualified names matter to the rules).
+    if (c == ':' && i + 1 < src.size() && src[i + 1] == ':') {
+      out.tokens.push_back({TokKind::Punct, src.substr(i, 2), line});
+      i += 2;
+    } else {
+      out.tokens.push_back({TokKind::Punct, src.substr(i, 1), line});
+      ++i;
+    }
+    note_code(line);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: a comment holding the iwlint marker followed by
+// "allow(rule-one, rule-two) -- justification".
+// ---------------------------------------------------------------------------
+
+struct Suppressions {
+  // rule -> set of lines on which findings of that rule are allowed
+  std::map<std::string_view, std::set<int>, std::less<>> allowed;
+};
+
+bool is_known_rule(std::string_view name) {
+  const auto& names = rule_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())) != 0)
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0)
+    s.remove_suffix(1);
+  return s;
+}
+
+Suppressions collect_suppressions(const ScanResult& scan,
+                                  std::vector<Finding>& findings,
+                                  std::string_view path) {
+  Suppressions out;
+  constexpr std::string_view kMarker = "iwlint: allow(";
+  for (const auto& comment : scan.comments) {
+    const std::size_t at = comment.text.find(kMarker);
+    if (at == std::string_view::npos) continue;
+    const std::size_t list_start = at + kMarker.size();
+    const std::size_t close = comment.text.find(')', list_start);
+    if (close == std::string_view::npos) {
+      findings.push_back({std::string(path), comment.line, "suppression",
+                          "malformed suppression: missing ')'"});
+      continue;
+    }
+
+    // A trailing-comment suppression covers its own line; a comment-only
+    // line covers the next line that holds code.
+    int effective_line = comment.line;
+    if (scan.code_lines.count(comment.line) == 0) {
+      const auto next = scan.code_lines.upper_bound(comment.line);
+      if (next != scan.code_lines.end()) effective_line = *next;
+    }
+
+    // The justification is mandatory: "-- <non-empty reason>" after ')'.
+    const std::string_view tail = trim(comment.text.substr(close + 1));
+    const bool justified = tail.size() > 2 && tail.substr(0, 2) == "--" &&
+                           !trim(tail.substr(2)).empty();
+    if (!justified) {
+      findings.push_back(
+          {std::string(path), comment.line, "suppression",
+           "suppression requires a justification: // iwlint: allow(<rule>) -- "
+           "<reason>"});
+      continue;  // an unjustified suppression suppresses nothing
+    }
+
+    std::string_view list = comment.text.substr(list_start, close - list_start);
+    while (!list.empty()) {
+      const std::size_t comma = list.find(',');
+      const std::string_view name = trim(list.substr(0, comma));
+      list = (comma == std::string_view::npos) ? std::string_view{}
+                                               : list.substr(comma + 1);
+      if (name.empty()) continue;
+      if (!is_known_rule(name) || name == "suppression") {
+        findings.push_back({std::string(path), comment.line, "suppression",
+                            "unknown rule '" + std::string(name) + "' in suppression"});
+        continue;
+      }
+      // Point the suppression at the rule registry's copy of the name so the
+      // string_view outlives this comment's buffer trivially.
+      const auto& names = rule_names();
+      const auto it = std::find(names.begin(), names.end(), name);
+      out.allowed[*it].insert(effective_line);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+struct FileClass {
+  const ModuleSpec* module = nullptr;  // set for src/<module>/ files
+  bool src_root = false;               // file directly under src/ (umbrella)
+  bool header = false;
+  std::string_view basename;
+};
+
+FileClass classify(std::string_view path) {
+  FileClass fc;
+  const std::size_t slash = path.rfind('/');
+  fc.basename = (slash == std::string_view::npos) ? path : path.substr(slash + 1);
+  fc.header = path.size() >= 4 && path.substr(path.size() - 4) == ".hpp";
+  if (path.substr(0, 4) == "src/") {
+    const std::string_view rest = path.substr(4);
+    const std::size_t sep = rest.find('/');
+    if (sep == std::string_view::npos) {
+      fc.src_root = true;
+    } else {
+      fc.module = find_module(rest.substr(0, sep));
+    }
+  }
+  return fc;
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+struct RuleContext {
+  std::string_view path;
+  const FileClass& file;
+  const ScanResult& scan;
+  std::vector<Finding>& findings;
+
+  void add(int line, std::string_view rule, std::string message) const {
+    findings.push_back({std::string(path), line, std::string(rule), std::move(message)});
+  }
+};
+
+// Rule: layering — every project include must respect the module DAG.
+void rule_layering(const RuleContext& ctx) {
+  // tests/, bench/, examples/ and tools/ sit on top of the whole tree.
+  if (ctx.file.module == nullptr && !ctx.file.src_root) return;
+
+  for (const auto& inc : ctx.scan.includes) {
+    const std::size_t sep = inc.target.find('/');
+    const ModuleSpec* target =
+        (sep == std::string_view::npos) ? nullptr : find_module(inc.target.substr(0, sep));
+    if (inc.angled) {
+      if (target == nullptr) continue;  // system/library header
+      ctx.add(inc.line, "layering",
+              "project header <" + std::string(inc.target) +
+                  "> must be included with quotes");
+      continue;
+    }
+    if (target == nullptr) {
+      ctx.add(inc.line, "layering",
+              "quoted include \"" + std::string(inc.target) +
+                  "\" does not name a module header (expected <module>/<file>.hpp)");
+      continue;
+    }
+    if (ctx.file.src_root) continue;  // the umbrella header sees everything
+    const ModuleSpec& self = *ctx.file.module;
+    if (target->dir == self.dir) continue;
+    if (std::find(self.deps.begin(), self.deps.end(), target->dir) != self.deps.end())
+      continue;
+    ctx.add(inc.line, "layering",
+            "module '" + std::string(self.dir) + "' may not include '" +
+                std::string(inc.target) + "': src/" + std::string(self.dir) +
+                " sits below src/" + std::string(target->dir) +
+                " in the module DAG (DESIGN.md §3)");
+  }
+}
+
+// Rule: byte-bridge — reinterpret_cast / C-style pointer casts live only in
+// src/util/bytes.hpp, the one audited byte↔text crossing.
+void rule_byte_bridge(const RuleContext& ctx) {
+  if (ctx.path == "src/util/bytes.hpp") return;
+  const auto& toks = ctx.scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::Ident && toks[i].text == "reinterpret_cast") {
+      ctx.add(toks[i].line, "byte-bridge",
+              "reinterpret_cast outside util/bytes.hpp; use util::as_text / "
+              "util::as_bytes");
+      continue;
+    }
+    // C-style pointer cast: '(' type-tokens '*' ')' <operand>. The operand
+    // requirement keeps unnamed pointer parameters `f(const char*)` and
+    // `sizeof(int*)` out of the match.
+    if (toks[i].kind != TokKind::Punct || toks[i].text != "(") continue;
+    std::size_t j = i + 1;
+    bool saw_ident = false;
+    while (j < toks.size() &&
+           (toks[j].kind == TokKind::Ident || toks[j].text == "::")) {
+      saw_ident = saw_ident || toks[j].kind == TokKind::Ident;
+      ++j;
+    }
+    bool saw_star = false;
+    while (j < toks.size() && toks[j].text == "*") {
+      saw_star = true;
+      ++j;
+    }
+    if (!saw_ident || !saw_star) continue;
+    if (j >= toks.size() || toks[j].text != ")") continue;
+    if (j + 1 >= toks.size()) continue;
+    const Token& next = toks[j + 1];
+    const bool operand_like =
+        next.kind == TokKind::Number || next.kind == TokKind::Str ||
+        next.kind == TokKind::CharLit || next.text == "(" || next.text == "&" ||
+        next.text == "*" ||
+        (next.kind == TokKind::Ident && next.text != "noexcept" &&
+         next.text != "const" && next.text != "override" && next.text != "final" &&
+         next.text != "requires");
+    if (operand_like) {
+      ctx.add(toks[i].line, "byte-bridge",
+              "C-style pointer cast outside util/bytes.hpp; use util::as_text / "
+              "util::as_bytes or static_cast");
+    }
+  }
+}
+
+// Rule: banned-call — libc calls that break determinism, safety, or the
+// check.hpp discipline.
+void rule_banned_call(const RuleContext& ctx) {
+  const auto& toks = ctx.scan.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Ident || toks[i + 1].text != "(") continue;
+    const BannedCall* banned = nullptr;
+    for (const auto& call : banned_calls()) {
+      if (call.name == toks[i].text) {
+        banned = &call;
+        break;
+      }
+    }
+    if (banned == nullptr) continue;
+    if (i > 0) {
+      const Token& prev = toks[i - 1];
+      if (prev.text == "." || prev.text == "->") continue;  // member access
+      if (prev.text == "::" && i > 1 && toks[i - 2].kind == TokKind::Ident &&
+          toks[i - 2].text != "std") {
+        continue;  // qualified call into some namespace other than std
+      }
+      // `long time(...)` is a declaration whose name merely collides; a call
+      // site is preceded by punctuation or an expression keyword.
+      if (prev.kind == TokKind::Ident && prev.text != "return" &&
+          prev.text != "case" && prev.text != "throw" && prev.text != "else" &&
+          prev.text != "do" && prev.text != "co_return" && prev.text != "co_yield") {
+        continue;
+      }
+    }
+    if (std::find(banned->allowed_paths.begin(), banned->allowed_paths.end(),
+                  ctx.path) != banned->allowed_paths.end()) {
+      continue;
+    }
+    ctx.add(toks[i].line, "banned-call",
+            std::string(toks[i].text) + "(): " + std::string(banned->message));
+  }
+}
+
+// Rule: wire-enum-default — a default: in a switch over a registered wire
+// enum hides newly registered values from -Wswitch.
+void rule_wire_enum_default(const RuleContext& ctx) {
+  const auto& toks = ctx.scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Ident || toks[i].text != "switch") continue;
+    // Skip the condition '(...)'.
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "(") continue;
+    int depth = 0;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) break;
+    }
+    // Find the body '{...}' and scan its depth-1 labels.
+    while (++j < toks.size() && toks[j].text != "{") {
+    }
+    if (j >= toks.size()) continue;
+    depth = 0;
+    bool wire = false;
+    std::optional<std::size_t> default_at;
+    std::string_view matched_enum;
+    for (; j < toks.size(); ++j) {
+      if (toks[j].text == "{") ++depth;
+      if (toks[j].text == "}" && --depth == 0) break;
+      if (depth != 1 || toks[j].kind != TokKind::Ident) continue;
+      if (toks[j].text == "default") {
+        if (!default_at) default_at = j;
+      } else if (toks[j].text == "case") {
+        for (std::size_t k = j + 1; k < toks.size() && toks[k].text != ":"; ++k) {
+          if (toks[k].kind != TokKind::Ident) continue;
+          const bool is_enum = std::find(kWireEnums.begin(), kWireEnums.end(),
+                                         toks[k].text) != kWireEnums.end();
+          const bool is_kind =
+              std::find(kTcpOptionKinds.begin(), kTcpOptionKinds.end(),
+                        toks[k].text) != kTcpOptionKinds.end();
+          if (is_enum || is_kind) {
+            wire = true;
+            matched_enum = is_enum ? toks[k].text : std::string_view("TCP option kind");
+          }
+        }
+      }
+    }
+    if (wire && default_at) {
+      ctx.add(toks[*default_at].line, "wire-enum-default",
+              "switch over wire enum (" + std::string(matched_enum) +
+                  ") must not have a default:; enumerate values so -Wswitch "
+                  "surfaces newly registered ones");
+    }
+  }
+}
+
+// Rule: header-hygiene — #pragma once first, snake_case names, and the
+// module's iwscan::<ns> namespace.
+void rule_header_hygiene(const RuleContext& ctx) {
+  const std::string_view name = ctx.file.basename;
+  const std::size_t dot = name.rfind('.');
+  const std::string_view stem = name.substr(0, dot);
+  const bool stem_ok =
+      !stem.empty() &&
+      std::all_of(stem.begin(), stem.end(), [](char c) {
+        return (std::islower(static_cast<unsigned char>(c)) != 0) ||
+               (std::isdigit(static_cast<unsigned char>(c)) != 0) || c == '_';
+      });
+  if (!stem_ok) {
+    ctx.add(1, "header-hygiene",
+            "file name '" + std::string(name) + "' is not lower_snake_case");
+  }
+  if (!ctx.file.header) return;
+
+  if (!ctx.scan.first_code_is_pragma_once) {
+    ctx.add(ctx.scan.first_code_line > 0 ? ctx.scan.first_code_line : 1,
+            "header-hygiene", "header must open with #pragma once");
+  }
+
+  if (ctx.file.module == nullptr) return;  // namespace rule is for src modules
+  const std::string_view expected = ctx.file.module->ns;
+  const auto& toks = ctx.scan.tokens;
+  bool found = false;
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].text != "namespace" || toks[i + 1].text != "iwscan" ||
+        toks[i + 2].text != "::") {
+      continue;
+    }
+    if (toks[i + 3].text == expected) {
+      found = true;
+    } else {
+      ctx.add(toks[i].line, "header-hygiene",
+              "namespace iwscan::" + std::string(toks[i + 3].text) +
+                  " does not match module '" + std::string(ctx.file.module->dir) +
+                  "' (expected iwscan::" + std::string(expected) + ")");
+    }
+  }
+  if (!found) {
+    ctx.add(ctx.scan.first_code_line > 0 ? ctx.scan.first_code_line : 1,
+            "header-hygiene",
+            "header declares no namespace iwscan::" + std::string(expected));
+  }
+}
+
+// Rule: determinism — entropy and wall clocks only inside the seeded RNG
+// implementation and the simulator.
+void rule_determinism(const RuleContext& ctx) {
+  for (const auto& prefix : kDeterminismAllowedPrefixes) {
+    if (ctx.path.substr(0, prefix.size()) == prefix) return;
+  }
+  const auto& toks = ctx.scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Ident) continue;
+    if (toks[i].text == "random_device") {
+      ctx.add(toks[i].line, "determinism",
+              "std::random_device is non-reproducible; seed a util::Rng explicitly");
+    } else if (toks[i].text == "srand") {
+      ctx.add(toks[i].line, "determinism",
+              "srand() seeds global hidden state; use util::Rng");
+    } else if (std::find(kBannedClocks.begin(), kBannedClocks.end(), toks[i].text) !=
+                   kBannedClocks.end() &&
+               i + 2 < toks.size() && toks[i + 1].text == "::" &&
+               toks[i + 2].text == "now") {
+      ctx.add(toks[i].line, "determinism",
+              std::string(toks[i].text) +
+                  "::now() reads the wall clock; use the event loop's virtual now()");
+    }
+  }
+}
+
+void apply_rules(const RuleContext& ctx) {
+  rule_layering(ctx);
+  rule_byte_bridge(ctx);
+  rule_banned_call(ctx);
+  rule_wire_enum_default(ctx);
+  rule_header_hygiene(ctx);
+  rule_determinism(ctx);
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& rule_names() {
+  static const std::vector<std::string> names = {
+      "layering",      "byte-bridge",    "banned-call", "wire-enum-default",
+      "header-hygiene", "determinism",   "suppression",
+  };
+  return names;
+}
+
+std::vector<Finding> lint_source(std::string_view path, std::string_view source,
+                                 const Options& options) {
+  const ScanResult scan = tokenize(source);
+  const FileClass file = classify(path);
+
+  std::vector<Finding> findings;
+  const Suppressions suppressions = collect_suppressions(scan, findings, path);
+  const RuleContext ctx{path, file, scan, findings};
+  apply_rules(ctx);
+
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (auto& finding : findings) {
+    const auto allowed = suppressions.allowed.find(finding.rule);
+    if (allowed != suppressions.allowed.end() &&
+        allowed->second.count(finding.line) != 0) {
+      continue;
+    }
+    if (std::find(options.disabled_rules.begin(), options.disabled_rules.end(),
+                  finding.rule) != options.disabled_rules.end()) {
+      continue;
+    }
+    kept.push_back(std::move(finding));
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
+  });
+  return kept;
+}
+
+std::vector<Finding> lint_tree(const std::string& root,
+                               const std::vector<std::string>& dirs,
+                               const Options& options,
+                               std::vector<std::string>* io_errors) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& dir : dirs) {
+    const fs::path base = fs::path(root) / dir;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      files.push_back(base);
+      continue;
+    }
+    fs::recursive_directory_iterator it(base, ec);
+    if (ec) {
+      if (io_errors != nullptr)
+        io_errors->push_back(base.generic_string() + ": " + ec.message());
+      continue;
+    }
+    for (const auto& entry : it) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp" && ext != ".cc") continue;
+      const std::string rel = entry.path().generic_string();
+      // Fixture snippets violate rules on purpose; never lint them in tree mode.
+      if (rel.find("tests/lint/fixtures") != std::string::npos) continue;
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      if (io_errors != nullptr)
+        io_errors->push_back(file.generic_string() + ": cannot open");
+      continue;
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    std::error_code ec;
+    fs::path rel = fs::relative(file, root, ec);
+    const std::string rel_path = (ec ? file : rel).generic_string();
+    auto file_findings = lint_source(rel_path, content.str(), options);
+    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+  return findings;
+}
+
+std::string format_text(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": " + finding.rule +
+         ": " + finding.message;
+}
+
+std::string format_json(const std::vector<Finding>& findings) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n  {\"file\": \"" + json_escape(findings[i].file) +
+           "\", \"line\": " + std::to_string(findings[i].line) + ", \"rule\": \"" +
+           json_escape(findings[i].rule) + "\", \"message\": \"" +
+           json_escape(findings[i].message) + "\"}";
+  }
+  out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+}  // namespace iwscan::lint

@@ -1,0 +1,55 @@
+// iwlint — project-specific static analyzer for the iwscan tree.
+//
+// Enforces the invariants no generic tool checks: the module DAG from
+// DESIGN.md §3 (keeps the ZMap-style engine swappable), the byte/text
+// bridge discipline of util/bytes.hpp, banned libc calls, wire-enum switch
+// exhaustiveness, header hygiene, and seeded-determinism rules. Findings
+// print as `file:line: rule: message`; every rule supports an inline
+// suppression comment — the iwlint marker, then "allow(<rule>) -- <reason>",
+// justification mandatory. See DESIGN.md "iwlint rule reference".
+//
+// Self-contained C++20: a small tokenizer + include-graph walker + rule
+// engine. No libclang; the whole tree lints in well under a second.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iwscan::lint {
+
+struct Finding {
+  std::string file;  // repo-relative path, '/'-separated
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  // Rules to skip entirely (fixture tests use this to prove each rule is
+  // load-bearing). Names as in rule_names().
+  std::vector<std::string> disabled_rules;
+};
+
+/// All rule identifiers accepted by suppression comments and --disable.
+[[nodiscard]] const std::vector<std::string>& rule_names();
+
+/// Lint one translation unit. `path` must be repo-relative with forward
+/// slashes (e.g. "src/netbase/wire.hpp"); rules key off the path to decide
+/// module membership and allowlists.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
+                                               std::string_view source,
+                                               const Options& options = {});
+
+/// Recursively lint every .hpp/.cpp under root/<dir> for each dir, sorted
+/// for deterministic output. tests/lint/fixtures is skipped — its snippets
+/// violate rules on purpose. I/O failures append to *io_errors.
+[[nodiscard]] std::vector<Finding> lint_tree(const std::string& root,
+                                             const std::vector<std::string>& dirs,
+                                             const Options& options,
+                                             std::vector<std::string>* io_errors);
+
+[[nodiscard]] std::string format_text(const Finding& finding);
+[[nodiscard]] std::string format_json(const std::vector<Finding>& findings);
+
+}  // namespace iwscan::lint

@@ -1,0 +1,99 @@
+// iwlint CLI. Exit codes: 0 = clean, 1 = findings, 2 = usage/I-O error.
+//
+//   iwlint [--root <dir>] [--json] [--disable <rule>[,<rule>...]] [paths...]
+//
+// Paths default to the directories the repo lints in CI: src tests bench
+// examples tools. Run from the repo root, or point --root at it.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "iwlint.hpp"
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: iwlint [--root <dir>] [--json] [--disable <rule>[,...]] "
+               "[paths...]\n\nrules:\n");
+  for (const auto& name : iwscan::lint::rule_names()) {
+    std::fprintf(out, "  %s\n", name.c_str());
+  }
+  std::fprintf(out,
+               "\nsuppress a finding inline with a mandatory justification:\n"
+               "  // iwlint: allow(<rule>) -- <reason>\n");
+}
+
+void split_rules(std::string_view list, std::vector<std::string>& out) {
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    const std::string_view name = list.substr(0, comma);
+    if (!name.empty()) out.emplace_back(name);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  bool json = false;
+  iwscan::lint::Options options;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.substr(0, 7) == "--root=") {
+      root = std::string(arg.substr(7));
+    } else if (arg == "--disable" && i + 1 < argc) {
+      split_rules(argv[++i], options.disabled_rules);
+    } else if (arg.substr(0, 10) == "--disable=") {
+      split_rules(arg.substr(10), options.disabled_rules);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "iwlint: unknown option '%s'\n", argv[i]);
+      usage(stderr);
+      return 2;
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  for (const auto& rule : options.disabled_rules) {
+    const auto& known = iwscan::lint::rule_names();
+    if (std::find(known.begin(), known.end(), rule) == known.end()) {
+      std::fprintf(stderr, "iwlint: unknown rule '%s' in --disable\n", rule.c_str());
+      return 2;
+    }
+  }
+  if (paths.empty()) paths = {"src", "tests", "bench", "examples", "tools"};
+
+  std::vector<std::string> io_errors;
+  const auto findings = iwscan::lint::lint_tree(root, paths, options, &io_errors);
+  for (const auto& error : io_errors) {
+    std::fprintf(stderr, "iwlint: %s\n", error.c_str());
+  }
+
+  if (json) {
+    std::fputs(iwscan::lint::format_json(findings).c_str(), stdout);
+  } else {
+    for (const auto& finding : findings) {
+      std::fprintf(stdout, "%s\n", iwscan::lint::format_text(finding).c_str());
+    }
+    if (!findings.empty()) {
+      std::fprintf(stdout, "iwlint: %zu finding%s\n", findings.size(),
+                   findings.size() == 1 ? "" : "s");
+    }
+  }
+  if (!io_errors.empty()) return 2;
+  return findings.empty() ? 0 : 1;
+}

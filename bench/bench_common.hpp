@@ -30,6 +30,8 @@ inline void define_common_flags(util::Flags& flags) {
   flags.define_u64("scan-seed", 7, "scanner seed (address order, ISNs)");
   flags.define_double("loss", 0.002, "per-packet per-direction loss rate");
   flags.define_double("rate", 150000, "scan rate in probed targets/second");
+  flags.define_u64("shards", 1,
+                   "parallel scan workers (output is identical for any value)");
   flags.define_bool("csv", false, "emit CSV instead of aligned tables");
 }
 
@@ -64,6 +66,7 @@ inline analysis::ScanOptions scan_options(const util::Flags& flags,
   options.protocol = protocol;
   options.rate_pps = flags.real("rate");
   options.scan_seed = flags.u64("scan-seed");
+  options.shards = flags.u64("shards");
   return options;
 }
 

@@ -133,8 +133,8 @@ void BM_EstimatorConnection(benchmark::State& state) {
     net::IPv4Address scanner_address() const override {
       return net::IPv4Address{192, 0, 2, 1};
     }
-    std::uint16_t allocate_port() override { return port++; }
-    std::uint64_t session_seed() override { return seed += 12345; }
+    std::uint16_t allocate_port(net::IPv4Address) override { return port++; }
+    std::uint64_t session_seed(net::IPv4Address) override { return seed += 12345; }
   };
 
   for (auto _ : state) {

@@ -35,8 +35,8 @@ class DirectServices final : public scan::SessionServices, public sim::Endpoint 
   net::IPv4Address scanner_address() const override {
     return net::IPv4Address{192, 0, 2, 1};
   }
-  std::uint16_t allocate_port() override { return port_++; }
-  std::uint64_t session_seed() override { return seed_ += 104729; }
+  std::uint16_t allocate_port(net::IPv4Address) override { return port_++; }
+  std::uint64_t session_seed(net::IPv4Address) override { return seed_ += 104729; }
 
  private:
   sim::Network& network_;

@@ -57,8 +57,8 @@ class TracingServices final : public scan::SessionServices, public sim::Endpoint
 
   sim::EventLoop& loop() override { return network_.loop(); }
   net::IPv4Address scanner_address() const override { return self_; }
-  std::uint16_t allocate_port() override { return port_++; }
-  std::uint64_t session_seed() override { return seed_ += 7919; }
+  std::uint16_t allocate_port(net::IPv4Address) override { return port_++; }
+  std::uint64_t session_seed(net::IPv4Address) override { return seed_ += 7919; }
 
  private:
   void trace(const char* direction, const net::TcpSegment& segment) {

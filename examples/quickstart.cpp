@@ -2,6 +2,7 @@
 // scan over it, and print the measured IW distribution.
 //
 //   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart --shards=4   # same output, more cores
 //
 // This is the 20-line core of the library: a Network carries packets, an
 // InternetModel materializes hosts lazily, and run_iw_scan() drives the
@@ -11,9 +12,23 @@
 #include "analysis/iw_table.hpp"
 #include "analysis/scan_runner.hpp"
 #include "inetmodel/internet.hpp"
+#include "util/flags.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace iwscan;
+
+  util::Flags flags;
+  flags.define_u64("shards", 1,
+                   "parallel scan workers (output is identical for any value)");
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
+                 flags.usage(argv[0]).c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.usage(argv[0]).c_str());
+    return 0;
+  }
 
   // 1. A virtual-time network and a synthetic Internet of ~2^14 addresses.
   sim::EventLoop loop;
@@ -28,6 +43,7 @@ int main() {
   analysis::ScanOptions options;
   options.protocol = core::ProbeProtocol::Http;
   options.rate_pps = 50'000;
+  options.shards = flags.u64("shards");  // >1: exec:: worker threads
   const auto output = analysis::run_iw_scan(network, internet, options);
 
   // 3. Aggregate into the Table-1 / Fig.-3 views.

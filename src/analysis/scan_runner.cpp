@@ -1,38 +1,34 @@
 #include "analysis/scan_runner.hpp"
 
+#include <utility>
+
 namespace iwscan::analysis {
 
 ScanOutput run_iw_scan(sim::Network& network, model::InternetModel& internet,
                        const ScanOptions& options) {
+  exec::ScanJob job;
+  job.probe = options.probe;
+  job.probe.protocol = options.protocol;
+  job.probe.port = options.protocol == core::ProbeProtocol::Http ? 80 : 443;
+  job.rate_pps = options.rate_pps;
+  job.sample_fraction = options.sample_fraction;
+  job.scan_seed = options.scan_seed;
+  job.max_outstanding = options.max_outstanding;
+  job.allow = options.popular_space ? internet.registry().popular_space()
+                                    : internet.registry().scan_space();
+  job.block = options.blocklist;
+  job.shards = options.shards;
+  job.progress = options.progress;
+  job.progress_interval = options.progress_interval;
+
+  exec::ParallelScanRunner runner(std::move(job));
+  exec::ScanResult result = runner.run(network, internet);
+
   ScanOutput output;
-
-  core::IwScanConfig probe = options.probe;
-  probe.protocol = options.protocol;
-  probe.port = options.protocol == core::ProbeProtocol::Http ? 80 : 443;
-
-  const auto space = options.popular_space ? internet.registry().popular_space()
-                                           : internet.registry().scan_space();
-  scan::TargetGenerator targets(space, options.blocklist, options.scan_seed,
-                                options.sample_fraction);
-  output.address_space = targets.address_space_size();
-
-  core::IwProbeModule module(probe, [&output](const core::HostScanRecord& record) {
-    output.records.push_back(record);
-  });
-
-  scan::EngineConfig engine_config;
-  engine_config.scanner_address = net::IPv4Address{192, 0, 2, 1};
-  engine_config.rate_pps = options.rate_pps;
-  engine_config.max_outstanding = options.max_outstanding;
-  engine_config.seed = options.scan_seed;
-
-  scan::ScanEngine engine(network, engine_config, std::move(targets), module);
-  const sim::SimTime started = network.loop().now();
-  engine.start();
-  while (!engine.done() && network.loop().step()) {
-  }
-  output.duration = network.loop().now() - started;
-  output.engine = engine.stats();
+  output.records = std::move(result.records);
+  output.engine = result.engine;
+  output.duration = result.duration;
+  output.address_space = result.address_space;
   return output;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/host_prober.hpp"
+#include "exec/parallel_runner.hpp"
 #include "inetmodel/internet.hpp"
 #include "scanner/scan_engine.hpp"
 
@@ -20,6 +21,12 @@ struct ScanOptions {
   bool popular_space = false;         // Alexa-style scan (Fig. 4)
   std::vector<net::Cidr> blocklist;   // never probed (ZMap ethics model)
   core::IwScanConfig probe;           // port is derived from protocol
+  // Parallel execution (exec::ParallelScanRunner): >1 splits the scan over
+  // that many worker threads; the merged output is byte-identical for any
+  // value on a fresh world with the same seeds.
+  std::uint64_t shards = 1;
+  exec::ProgressFn progress;               // optional live-progress callback
+  std::uint64_t progress_interval = 1024;  // merged records between snapshots
 };
 
 struct ScanOutput {

@@ -20,8 +20,8 @@ IwEstimator::IwEstimator(scan::SessionServices& services, net::IPv4Address targe
 IwEstimator::~IwEstimator() { services_.loop().cancel(timer_); }
 
 void IwEstimator::start() {
-  local_port_ = services_.allocate_port();
-  isn_ = static_cast<std::uint32_t>(services_.session_seed());
+  local_port_ = services_.allocate_port(target_);
+  isn_ = static_cast<std::uint32_t>(services_.session_seed(target_));
   phase_ = Phase::SynSent;
   // SYN announcing the small MSS and a large window; SACK deliberately
   // absent (§3.1 — suppresses tail loss probes).

@@ -32,7 +32,7 @@ std::unique_ptr<ProbeStrategy> HostProber::make_strategy() {
   }
   TlsStrategyConfig tls;
   tls.offer_ocsp_stapling = config_.tls_offer_ocsp;
-  tls.seed = services_.session_seed();
+  tls.seed = services_.session_seed(target_);
   return make_tls_strategy(tls);
 }
 

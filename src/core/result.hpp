@@ -90,6 +90,11 @@ struct HostScanRecord {
   std::uint8_t probes_run = 0;
   std::uint8_t connections_used = 0;
 
+  /// Field-wise equality — the byte-identity contract of sharded scans
+  /// (exec::ParallelScanRunner) is pinned against this.
+  [[nodiscard]] friend bool operator==(const HostScanRecord&,
+                                       const HostScanRecord&) = default;
+
   [[nodiscard]] bool success() const noexcept {
     return outcome == HostOutcome::Success;
   }

@@ -1,0 +1,212 @@
+#include "exec/parallel_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+
+#include "exec/channel.hpp"
+#include "exec/shard_plan.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace iwscan::exec {
+
+namespace {
+
+constexpr net::IPv4Address kScannerAddress{192, 0, 2, 1};
+constexpr std::size_t kChannelCapacity = 1024;
+
+struct TaggedRecord {
+  std::uint64_t cycle = 0;  // global permutation-cycle index of the target
+  core::HostScanRecord record;
+};
+
+struct ShardDone {
+  std::uint64_t shard = 0;
+  scan::EngineStats stats;
+  sim::SimTime duration{};
+};
+
+using Message = std::variant<TaggedRecord, ShardDone>;
+
+std::vector<core::HostScanRecord> sorted_records(std::vector<TaggedRecord> tagged) {
+  // Cycle indices are unique across shards (shard k of n owns exactly the
+  // indices ≡ k mod n), so this recovers the shards=1 emission order.
+  std::sort(tagged.begin(), tagged.end(),
+            [](const TaggedRecord& a, const TaggedRecord& b) { return a.cycle < b.cycle; });
+  std::vector<core::HostScanRecord> records;
+  records.reserve(tagged.size());
+  for (const TaggedRecord& entry : tagged) records.push_back(entry.record);
+  return records;
+}
+
+scan::EngineConfig engine_config_for(const ScanJob& job, double rate_pps,
+                                     std::size_t max_outstanding) {
+  scan::EngineConfig config;
+  config.scanner_address = kScannerAddress;
+  config.rate_pps = rate_pps;
+  config.max_outstanding = max_outstanding;
+  config.seed = job.scan_seed;
+  return config;
+}
+
+/// shards<=1: the classic single-loop path, on the caller's world. Records
+/// are still emitted in cycle order so the output shape matches shards>1.
+ScanResult run_single(const ScanJob& job, sim::Network& network) {
+  ScanResult result;
+  scan::TargetGenerator targets(job.allow, job.block, job.scan_seed,
+                                job.sample_fraction);
+  result.address_space = targets.address_space_size();
+
+  std::unordered_map<net::IPv4Address, std::uint64_t> cycle_of;
+  std::vector<TaggedRecord> tagged;
+  std::uint64_t launched = 0;
+  auto emit_progress = [&](std::uint64_t shards_done) {
+    if (!job.progress) return;
+    ProgressSnapshot snap;
+    snap.targets_started = launched;
+    snap.records_merged = tagged.size();
+    snap.outstanding = launched - tagged.size();
+    snap.shards_done = shards_done;
+    snap.shards_total = 1;
+    job.progress(snap);
+  };
+
+  core::IwProbeModule module(job.probe, [&](const core::HostScanRecord& record) {
+    const auto it = cycle_of.find(record.ip);
+    tagged.push_back({it == cycle_of.end() ? 0 : it->second, record});
+    if (job.progress_interval > 0 && tagged.size() % job.progress_interval == 0) {
+      emit_progress(0);
+    }
+  });
+
+  scan::ScanEngine engine(network, engine_config_for(job, job.rate_pps, job.max_outstanding),
+                          std::move(targets), module);
+  engine.set_launch_observer([&](net::IPv4Address ip, std::uint64_t cycle) {
+    cycle_of[ip] = cycle;
+    ++launched;
+  });
+
+  const sim::SimTime start = network.loop().now();
+  engine.start();
+  while (!engine.done() && network.loop().step()) {
+  }
+  result.duration = network.loop().now() - start;
+  result.engine = engine.stats();
+  result.records = sorted_records(std::move(tagged));
+  emit_progress(1);
+  return result;
+}
+
+/// One worker: a private world seeded identically to the reference one,
+/// scanning shard `spec.shard` of `spec.total_shards` and streaming tagged
+/// records into the aggregator's channel. Runs entirely in virtual time.
+void run_shard(const ScanJob& job, const ShardSpec& spec, std::uint64_t network_seed,
+               const sim::PathConfig& default_path, const model::ModelConfig& model_config,
+               BoundedChannel<Message>& channel, std::atomic<std::uint64_t>& launched) {
+  sim::EventLoop loop;
+  sim::Network network(loop, network_seed);
+  network.set_default_path(default_path);
+  model::InternetModel internet(network, model_config);
+  internet.install();
+
+  scan::TargetGenerator targets(job.allow, job.block, job.scan_seed,
+                                job.sample_fraction, spec.shard, spec.total_shards);
+
+  std::unordered_map<net::IPv4Address, std::uint64_t> cycle_of;
+  core::IwProbeModule module(job.probe, [&](const core::HostScanRecord& record) {
+    const auto it = cycle_of.find(record.ip);
+    channel.push(TaggedRecord{it == cycle_of.end() ? 0 : it->second, record});
+  });
+
+  scan::ScanEngine engine(network,
+                          engine_config_for(job, spec.rate_pps, spec.max_outstanding),
+                          std::move(targets), module);
+  engine.set_launch_observer([&](net::IPv4Address ip, std::uint64_t cycle) {
+    cycle_of[ip] = cycle;
+    launched.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  const sim::SimTime start = loop.now();
+  engine.start();
+  while (!engine.done() && loop.step()) {
+  }
+  channel.push(ShardDone{spec.shard, engine.stats(), loop.now() - start});
+}
+
+}  // namespace
+
+ScanResult ParallelScanRunner::run(sim::Network& network, model::InternetModel& internet) {
+  if (job_.shards <= 1) return run_single(job_, network);
+
+  ScanResult result;
+  {
+    // The same normalized allowlist every shard iterates; sized once here.
+    scan::TargetGenerator probe(job_.allow, job_.block, job_.scan_seed,
+                                job_.sample_fraction);
+    result.address_space = probe.address_space_size();
+  }
+
+  const ShardPlan plan = ShardPlan::make(job_.shards, job_.rate_pps, job_.max_outstanding);
+  const std::uint64_t shard_count = plan.shards.size();
+  const std::uint64_t network_seed = network.seed();
+  const sim::PathConfig default_path = network.default_path();
+  const model::ModelConfig model_config = internet.config();
+
+  BoundedChannel<Message> channel(kChannelCapacity);
+  std::atomic<std::uint64_t> launched{0};
+
+  ThreadPool pool(std::min<std::size_t>(
+      shard_count, std::max<std::size_t>(1, std::thread::hardware_concurrency())));
+  for (const ShardSpec& spec : plan.shards) {
+    pool.submit([this, spec, network_seed, default_path, model_config, &channel,
+                 &launched] {
+      run_shard(job_, spec, network_seed, default_path, model_config, channel, launched);
+    });
+  }
+
+  // Aggregate on the calling thread: drain the channel until every shard
+  // has reported completion, then merge in deterministic order.
+  std::vector<TaggedRecord> tagged;
+  std::vector<ShardDone> done(shard_count);
+  std::uint64_t shards_done = 0;
+  auto emit_progress = [&] {
+    if (!job_.progress) return;
+    ProgressSnapshot snap;
+    snap.targets_started = launched.load(std::memory_order_relaxed);
+    snap.records_merged = tagged.size();
+    snap.outstanding = snap.targets_started - snap.records_merged;
+    snap.shards_done = shards_done;
+    snap.shards_total = shard_count;
+    job_.progress(snap);
+  };
+
+  while (shards_done < shard_count) {
+    auto message = channel.pop();
+    if (!message) break;  // closed early — unreachable in normal operation
+    if (auto* record = std::get_if<TaggedRecord>(&*message)) {
+      tagged.push_back(std::move(*record));
+      if (job_.progress_interval > 0 && tagged.size() % job_.progress_interval == 0) {
+        emit_progress();
+      }
+    } else {
+      const ShardDone& fin = std::get<ShardDone>(*message);
+      done[fin.shard] = fin;
+      ++shards_done;
+      emit_progress();
+    }
+  }
+  pool.wait();
+  channel.close();
+
+  for (const ShardDone& fin : done) {  // fixed shard order, schedule-independent
+    result.engine += fin.stats;
+    result.duration = std::max(result.duration, fin.duration);
+  }
+  result.records = sorted_records(std::move(tagged));
+  return result;
+}
+
+}  // namespace iwscan::exec

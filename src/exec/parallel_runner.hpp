@@ -1,0 +1,70 @@
+// Parallel sharded scan executor with deterministic merge.
+//
+// Turns the shard parameters the target generator has always had into real
+// multi-core throughput: the address space is partitioned into N disjoint
+// shards (see shard_plan.hpp), each shard runs on its own worker thread
+// with a private event loop, network fabric and lazily-materialized
+// Internet model, and the per-shard record streams are merged back into
+// the exact order a shards=1 scan would have produced.
+//
+// Byte-identical output for any N rests on three legs:
+//   1. per-target determinism upstream — session seeds, source ports
+//      (scan::SessionServices) and path impairments (sim::Network per-flow
+//      RNGs) depend only on (seed, target), never on launch interleaving;
+//   2. identically-seeded private worlds — every worker synthesizes hosts
+//      from the same pure (model seed, address) function, and host behavior
+//      depends only on time *since its first packet*, so per-shard pacing
+//      differences cannot leak into records;
+//   3. a total merge order — every record is tagged with its target's
+//      global permutation-cycle index, which interleaves shard streams back
+//      into the single-shard emission order (see PermutationIterator).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/host_prober.hpp"
+#include "exec/progress.hpp"
+#include "inetmodel/internet.hpp"
+#include "scanner/scan_engine.hpp"
+
+namespace iwscan::exec {
+
+/// Scan parameters shared by all shards. The analysis layer converts its
+/// ScanOptions into one of these and delegates (analysis/scan_runner.cpp).
+struct ScanJob {
+  core::IwScanConfig probe;  // protocol/port must already be resolved
+  double rate_pps = 150'000; // global rate; divided across shards
+  double sample_fraction = 1.0;
+  std::uint64_t scan_seed = 7;
+  std::size_t max_outstanding = 20'000;  // global cap; divided across shards
+  std::vector<net::Cidr> allow;
+  std::vector<net::Cidr> block;
+  std::uint64_t shards = 1;
+  ProgressFn progress;  // optional; invoked on the calling thread
+  std::uint64_t progress_interval = 1024;  // merged records between snapshots
+};
+
+struct ScanResult {
+  std::vector<core::HostScanRecord> records;  // permutation-cycle order
+  scan::EngineStats engine;                   // summed over shards
+  sim::SimTime duration{};                    // max over shards (virtual time)
+  std::uint64_t address_space = 0;            // allowlist size, post-merge
+};
+
+class ParallelScanRunner {
+ public:
+  explicit ParallelScanRunner(ScanJob job) : job_(std::move(job)) {}
+
+  /// Runs the scan to completion. `network`/`internet` are the reference
+  /// world: shards<=1 executes directly on it (the classic single-loop
+  /// path); shards>1 leaves it untouched and builds one identically-seeded
+  /// private world per worker, so the merged output is byte-identical to a
+  /// shards=1 run on a fresh world with the same seeds.
+  [[nodiscard]] ScanResult run(sim::Network& network, model::InternetModel& internet);
+
+ private:
+  ScanJob job_;
+};
+
+}  // namespace iwscan::exec

@@ -1,0 +1,24 @@
+#include "exec/shard_plan.hpp"
+
+#include <algorithm>
+
+namespace iwscan::exec {
+
+ShardPlan ShardPlan::make(std::uint64_t total_shards, double rate_pps,
+                          std::size_t max_outstanding) {
+  const std::uint64_t count = total_shards == 0 ? 1 : total_shards;
+  ShardPlan plan;
+  plan.shards.reserve(count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    ShardSpec spec;
+    spec.shard = k;
+    spec.total_shards = count;
+    spec.rate_pps = rate_pps / static_cast<double>(count);
+    spec.max_outstanding =
+        std::max<std::size_t>(1, max_outstanding / static_cast<std::size_t>(count));
+    plan.shards.push_back(spec);
+  }
+  return plan;
+}
+
+}  // namespace iwscan::exec

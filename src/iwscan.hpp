@@ -14,12 +14,14 @@
 //   iwscan::scan      — ZMap-style engine, targets, probe modules
 //   iwscan::core      — the IW estimator, probe strategies, host prober
 //   iwscan::model     — the synthetic Internet (AS registry, ground truth)
+//   iwscan::exec      — parallel sharded scan executor, deterministic merge
 //   iwscan::analysis  — aggregation, sampling, clustering, reports
 #pragma once
 
 #include "util/flags.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 #include "util/strings.hpp"
 
 #include "netbase/checksum.hpp"
@@ -63,6 +65,12 @@
 #include "inetmodel/censys_certs.hpp"
 #include "inetmodel/internet.hpp"
 #include "inetmodel/profiles.hpp"
+
+#include "exec/channel.hpp"
+#include "exec/parallel_runner.hpp"
+#include "exec/progress.hpp"
+#include "exec/shard_plan.hpp"
+#include "exec/thread_pool.hpp"
 
 #include "analysis/dbscan.hpp"
 #include "analysis/iw_table.hpp"

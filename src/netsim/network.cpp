@@ -11,6 +11,16 @@ const PathConfig& Network::path_for(net::IPv4Address remote) const {
   return it == paths_.end() ? default_path_ : it->second;
 }
 
+util::Rng& Network::flow_rng(net::IPv4Address src, net::IPv4Address dst) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+  auto it = flow_rngs_.find(key);
+  if (it == flow_rngs_.end()) {
+    it = flow_rngs_.emplace(key, util::Rng(util::mix64(seed_, key))).first;
+  }
+  return it->second;
+}
+
 void Network::send(net::Bytes bytes) {
   const auto dst = net::peek_destination(bytes);
   const auto src = net::peek_source(bytes);
@@ -55,7 +65,8 @@ void Network::send(net::Bytes bytes) {
     return;
   }
 
-  if (path.loss_rate > 0.0 && rng_.chance(path.loss_rate)) {
+  util::Rng& rng = flow_rng(*src, *dst);
+  if (path.loss_rate > 0.0 && rng.chance(path.loss_rate)) {
     ++stats_.packets_lost;
     return;
   }
@@ -63,15 +74,15 @@ void Network::send(net::Bytes bytes) {
   SimTime delay = path.latency;
   if (path.jitter > SimTime::zero()) {
     delay += SimTime{static_cast<std::int64_t>(
-        rng_.uniform01() * static_cast<double>(path.jitter.count()))};
+        rng.uniform01() * static_cast<double>(path.jitter.count()))};
   }
-  if (path.reorder_rate > 0.0 && rng_.chance(path.reorder_rate)) {
+  if (path.reorder_rate > 0.0 && rng.chance(path.reorder_rate)) {
     ++stats_.packets_reordered;
     delay += path.reorder_delay;
   }
 
   const net::IPv4Address destination = *dst;
-  if (path.duplicate_rate > 0.0 && rng_.chance(path.duplicate_rate)) {
+  if (path.duplicate_rate > 0.0 && rng.chance(path.duplicate_rate)) {
     // Duplicate delivery (e.g. spurious link-layer retransmission): the
     // copy trails the original slightly.
     ++stats_.packets_duplicated;

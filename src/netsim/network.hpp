@@ -59,7 +59,12 @@ class Network {
   /// Internet where the scanner just times out).
   using Resolver = std::function<Endpoint*(net::IPv4Address)>;
 
-  Network(EventLoop& loop, std::uint64_t seed) : loop_(loop), rng_(seed) {}
+  Network(EventLoop& loop, std::uint64_t seed) : loop_(loop), seed_(seed) {}
+
+  /// The impairment seed this fabric was built with. A sharded scan
+  /// (exec::ParallelScanRunner) builds one private Network per worker from
+  /// this seed so per-flow impairment draws match the single-shard run.
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -104,12 +109,19 @@ class Network {
 
  private:
   [[nodiscard]] const PathConfig& path_for(net::IPv4Address remote) const;
+  [[nodiscard]] util::Rng& flow_rng(net::IPv4Address src, net::IPv4Address dst);
   void deliver(SimTime delay, net::IPv4Address destination, net::Bytes bytes);
   void send_frag_needed(net::IPv4Address original_src, net::IPv4Address original_dst,
                         std::uint32_t next_hop_mtu, const net::Bytes& original);
 
   EventLoop& loop_;
-  util::Rng rng_;
+  std::uint64_t seed_;
+  // Impairment draws are per-flow (keyed by the ordered (src, dst) pair and
+  // seeded from `seed_`), not from one shared stream: a flow's loss/jitter
+  // sequence then depends only on its own packet order, so interleaving
+  // flows differently — e.g. splitting a scan across shard workers — cannot
+  // change which packets of a given flow are dropped or delayed.
+  std::unordered_map<std::uint64_t, util::Rng> flow_rngs_;
   std::unordered_map<net::IPv4Address, Endpoint*> endpoints_;
   std::unordered_map<net::IPv4Address, PathConfig> paths_;
   PathConfig default_path_;

@@ -16,7 +16,7 @@ class MtuSession final : public ProbeSession {
   ~MtuSession() override { services_.loop().cancel(timeout_event_); }
 
   void start() override {
-    echo_id_ = static_cast<std::uint16_t>(services_.session_seed());
+    echo_id_ = static_cast<std::uint16_t>(services_.session_seed(target_));
     probe(config_.initial_mtu);
   }
 

@@ -43,10 +43,17 @@ class PermutationIterator {
   /// Next image, or false when the cycle is complete.
   bool next(std::uint64_t& out) noexcept {
     if (index_ >= permutation_->domain_size()) return false;
+    last_index_ = index_;
     out = permutation_->permute(index_);
     index_ += stride_;
     return true;
   }
+
+  /// Domain index consumed by the most recent successful next(). Shard k of
+  /// n walks k, k+n, k+2n, …, so this is a *global* cycle position that is
+  /// comparable across shards — a parallel executor sorts merged results by
+  /// it to recover the exact shards=1 emission order.
+  [[nodiscard]] std::uint64_t last_index() const noexcept { return last_index_; }
 
   [[nodiscard]] bool exhausted() const noexcept {
     return index_ >= permutation_->domain_size();
@@ -56,6 +63,7 @@ class PermutationIterator {
   const RandomPermutation* permutation_;
   std::uint64_t index_;
   std::uint64_t stride_;
+  std::uint64_t last_index_ = 0;
 };
 
 }  // namespace iwscan::scan

@@ -9,8 +9,7 @@ ScanEngine::ScanEngine(sim::Network& network, EngineConfig config,
     : network_(network),
       config_(config),
       targets_(std::move(targets)),
-      module_(module),
-      rng_(util::mix64(config.seed, 0x5ca93f0c)) {}
+      module_(module) {}
 
 ScanEngine::~ScanEngine() {
   network_.loop().cancel(pace_event_);
@@ -62,6 +61,7 @@ void ScanEngine::launch_next_target() {
     return;
   }
   ++stats_.targets_started;
+  if (launch_observer_) launch_observer_(*target, targets_.last_cycle_index());
   auto session = module_.create_session(*this, *target,
                                         [this, t = *target] { finish_session(t); });
   auto [it, inserted] = sessions_.emplace(*target, std::move(session));
@@ -76,6 +76,7 @@ void ScanEngine::launch_next_target() {
 void ScanEngine::finish_session(net::IPv4Address target) {
   auto node = sessions_.extract(target);
   if (node.empty()) return;
+  draws_.erase(target);
   // The session is likely on the call stack; free it on the next tick.
   graveyard_.push_back(std::move(node.mapped()));
   if (reap_event_ == sim::kNullEvent) {
@@ -116,9 +117,30 @@ void ScanEngine::send_packet(net::Bytes bytes) {
   network_.send(std::move(bytes));
 }
 
-std::uint16_t ScanEngine::allocate_port() {
-  if (next_port_ >= 61000) next_port_ = 32768;
-  return next_port_++;
+ScanEngine::TargetDraws& ScanEngine::target_draws(net::IPv4Address target) {
+  auto it = draws_.find(target);
+  if (it == draws_.end()) {
+    const std::uint64_t key = util::mix64(config_.seed, target.value());
+    it = draws_
+             .emplace(target, TargetDraws{util::Rng(key),
+                                          static_cast<std::uint32_t>(key >> 32)})
+             .first;
+  }
+  return it->second;
+}
+
+std::uint16_t ScanEngine::allocate_port(net::IPv4Address target) {
+  // Ephemeral range 32768..60999, walked from a per-target start offset.
+  constexpr std::uint32_t kRange = 61000 - 32768;
+  TargetDraws& draws = target_draws(target);
+  const std::uint16_t port =
+      static_cast<std::uint16_t>(32768 + draws.port_offset % kRange);
+  ++draws.port_offset;
+  return port;
+}
+
+std::uint64_t ScanEngine::session_seed(net::IPv4Address target) {
+  return target_draws(target).rng();
 }
 
 }  // namespace iwscan::scan

@@ -8,6 +8,7 @@
 // routes replies to per-host sessions (receive side).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -29,10 +30,15 @@ class SessionServices {
   virtual void send_packet(net::Bytes bytes) = 0;
   [[nodiscard]] virtual sim::EventLoop& loop() = 0;
   [[nodiscard]] virtual net::IPv4Address scanner_address() const = 0;
-  /// Fresh ephemeral source port, unique per allocation within the scan.
-  [[nodiscard]] virtual std::uint16_t allocate_port() = 0;
-  /// Deterministic per-session randomness.
-  [[nodiscard]] virtual std::uint64_t session_seed() = 0;
+  /// Fresh ephemeral source port for a connection to `target`. Allocation
+  /// is deterministic per target (not globally sequential) so the packets
+  /// of one conversation do not depend on which other targets are in
+  /// flight; cross-target collisions are harmless — the engine demuxes
+  /// replies by source address, not by port.
+  [[nodiscard]] virtual std::uint16_t allocate_port(net::IPv4Address target) = 0;
+  /// Deterministic per-session randomness, keyed by (scan seed, target) so
+  /// a target's draw sequence is independent of launch interleaving.
+  [[nodiscard]] virtual std::uint64_t session_seed(net::IPv4Address target) = 0;
 };
 
 /// One in-flight target conversation. Created by a ProbeModule; must call
@@ -73,6 +79,20 @@ struct EngineStats {
   std::uint64_t stray_packets = 0;  // no matching session
   sim::SimTime started_at{};
   sim::SimTime finished_at{};
+
+  /// Merge another engine's stats (used by exec:: to aggregate shard
+  /// workers): counters sum; the time window becomes the envelope — the
+  /// earliest start and the latest finish across both.
+  EngineStats& operator+=(const EngineStats& other) noexcept {
+    targets_started += other.targets_started;
+    targets_finished += other.targets_finished;
+    packets_sent += other.packets_sent;
+    packets_received += other.packets_received;
+    stray_packets += other.stray_packets;
+    started_at = std::min(started_at, other.started_at);
+    finished_at = std::max(finished_at, other.finished_at);
+    return *this;
+  }
 };
 
 class ScanEngine final : public sim::Endpoint, public SessionServices {
@@ -92,6 +112,14 @@ class ScanEngine final : public sim::Endpoint, public SessionServices {
     on_complete_ = std::move(callback);
   }
 
+  /// Invoked for every launched target with its global permutation-cycle
+  /// index (TargetGenerator::last_cycle_index) — the hook a parallel
+  /// executor uses to tag records for deterministic merge ordering.
+  using LaunchObserver = std::function<void(net::IPv4Address, std::uint64_t)>;
+  void set_launch_observer(LaunchObserver observer) {
+    launch_observer_ = std::move(observer);
+  }
+
   [[nodiscard]] bool done() const noexcept {
     return started_ && targets_exhausted_ && sessions_.empty();
   }
@@ -106,10 +134,20 @@ class ScanEngine final : public sim::Endpoint, public SessionServices {
   [[nodiscard]] net::IPv4Address scanner_address() const override {
     return config_.scanner_address;
   }
-  [[nodiscard]] std::uint16_t allocate_port() override;
-  [[nodiscard]] std::uint64_t session_seed() override { return rng_(); }
+  [[nodiscard]] std::uint16_t allocate_port(net::IPv4Address target) override;
+  [[nodiscard]] std::uint64_t session_seed(net::IPv4Address target) override;
 
  private:
+  // Per-target draw state: seeded purely from (scan seed, target) so the
+  // sequence a session observes is identical no matter how many other
+  // sessions interleave with it — the property that makes sharded scans
+  // byte-identical to shards=1. Erased when the session finishes.
+  struct TargetDraws {
+    util::Rng rng;
+    std::uint32_t port_offset;
+  };
+  [[nodiscard]] TargetDraws& target_draws(net::IPv4Address target);
+
   void pace();
   void launch_next_target();
   void finish_session(net::IPv4Address target);
@@ -118,18 +156,18 @@ class ScanEngine final : public sim::Endpoint, public SessionServices {
   EngineConfig config_;
   TargetGenerator targets_;
   ProbeModule& module_;
-  util::Rng rng_;
 
   std::unordered_map<net::IPv4Address, std::unique_ptr<ProbeSession>> sessions_;
+  std::unordered_map<net::IPv4Address, TargetDraws> draws_;
   std::vector<std::unique_ptr<ProbeSession>> graveyard_;
   sim::EventId reap_event_ = sim::kNullEvent;
   sim::EventId pace_event_ = sim::kNullEvent;
   sim::SimTime next_send_time_{};
-  std::uint16_t next_port_ = 32768;
   bool started_ = false;
   bool targets_exhausted_ = false;
   bool complete_notified_ = false;
   std::function<void()> on_complete_;
+  LaunchObserver launch_observer_;
   EngineStats stats_;
 };
 

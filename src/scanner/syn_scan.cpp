@@ -16,8 +16,8 @@ class SynSession final : public ProbeSession {
   ~SynSession() override { services_.loop().cancel(timeout_event_); }
 
   void start() override {
-    source_port_ = services_.allocate_port();
-    isn_ = static_cast<std::uint32_t>(services_.session_seed());
+    source_port_ = services_.allocate_port(target_);
+    isn_ = static_cast<std::uint32_t>(services_.session_seed(target_));
 
     net::TcpSegment syn;
     syn.ip.src = services_.scanner_address();

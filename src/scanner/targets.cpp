@@ -35,17 +35,52 @@ std::uint64_t total_size(const std::vector<net::Cidr>& blocks) {
 }
 }  // namespace
 
+// Two aligned power-of-two ranges are either disjoint or nested, so
+// normalization reduces to dropping every block contained in another (and
+// later copies of exact duplicates): the survivors are pairwise disjoint,
+// and disjoint inputs pass through untouched, keeping the index→address
+// assignment stable for callers that already pass disjoint lists.
+TargetGenerator::Normalized TargetGenerator::normalize(std::vector<net::Cidr> blocks) {
+  Normalized out;
+  out.blocks.reserve(blocks.size());
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    bool drop = false;
+    for (std::size_t j = 0; j < blocks.size() && !drop; ++j) {
+      if (j == i) continue;
+      const bool nested = blocks[j].prefix_len < blocks[i].prefix_len &&
+                          blocks[j].contains(blocks[i].first());
+      const bool duplicate = j < i &&
+                             blocks[j].prefix_len == blocks[i].prefix_len &&
+                             blocks[j].first() == blocks[i].first();
+      drop = nested || duplicate;
+    }
+    if (drop) {
+      out.merged += blocks[i].size();
+    } else {
+      out.blocks.push_back(blocks[i]);
+    }
+  }
+  return out;
+}
+
 TargetGenerator::TargetGenerator(std::vector<net::Cidr> allow,
                                  std::vector<net::Cidr> block, std::uint64_t seed,
                                  double sample_fraction, std::uint64_t shard,
                                  std::uint64_t total_shards)
-    : allow_(std::move(allow)),
+    : TargetGenerator(normalize(std::move(allow)), std::move(block), seed,
+                      sample_fraction, shard, total_shards) {}
+
+TargetGenerator::TargetGenerator(Normalized allow, std::vector<net::Cidr> block,
+                                 std::uint64_t seed, double sample_fraction,
+                                 std::uint64_t shard, std::uint64_t total_shards)
+    : allow_(std::move(allow.blocks)),
       block_(std::move(block)),
       total_(total_size(allow_)),
       permutation_(total_, seed),
       iterator_(permutation_, shard, total_shards),
       sample_seed_(util::mix64(seed, 0x5a3b7e11)),
-      sample_fraction_(sample_fraction) {
+      sample_fraction_(sample_fraction),
+      merged_overlap_(allow.merged) {
   cumulative_.reserve(allow_.size());
   std::uint64_t running = 0;
   for (const auto& cidr : allow_) {
@@ -89,6 +124,7 @@ std::optional<net::IPv4Address> TargetGenerator::next() {
       }
     }
     ++emitted_;
+    last_cycle_index_ = iterator_.last_index();
     return addr;
   }
   return std::nullopt;

@@ -23,15 +23,25 @@ namespace iwscan::scan {
 
 class TargetGenerator {
  public:
-  /// `allow` may overlap; duplicates are visited twice (callers pass
-  /// disjoint blocks in practice). `sample_fraction` in (0,1] keeps each
-  /// address independently with that probability (deterministic in seed).
+  /// `allow` is normalized at construction: blocks nested inside another
+  /// block (and exact duplicates) are merged away, so every address is
+  /// visited exactly once and sharded partitions are provably disjoint.
+  /// The number of addresses removed by merging is reported by
+  /// merged_overlap(). `sample_fraction` in (0,1] keeps each address
+  /// independently with that probability (deterministic in seed).
   TargetGenerator(std::vector<net::Cidr> allow, std::vector<net::Cidr> block,
                   std::uint64_t seed, double sample_fraction = 1.0,
                   std::uint64_t shard = 0, std::uint64_t total_shards = 1);
 
   /// Next target, or nullopt when the space is exhausted.
   [[nodiscard]] std::optional<net::IPv4Address> next();
+
+  /// Global permutation-cycle index of the last address returned by next().
+  /// Comparable across shards of the same (allow, seed) space; a parallel
+  /// executor orders merged records by it (see PermutationIterator).
+  [[nodiscard]] std::uint64_t last_cycle_index() const noexcept {
+    return last_cycle_index_;
+  }
 
   /// Total addresses in the allowlist (before blocklist/sampling).
   [[nodiscard]] std::uint64_t address_space_size() const noexcept { return total_; }
@@ -43,8 +53,21 @@ class TargetGenerator {
   [[nodiscard]] std::uint64_t skipped_sampled_out() const noexcept {
     return skipped_sampled_out_;
   }
+  /// Addresses dropped by allowlist normalization (nested/duplicate CIDRs).
+  [[nodiscard]] std::uint64_t merged_overlap() const noexcept {
+    return merged_overlap_;
+  }
 
  private:
+  struct Normalized {
+    std::vector<net::Cidr> blocks;
+    std::uint64_t merged = 0;  // addresses dropped as nested/duplicate
+  };
+  [[nodiscard]] static Normalized normalize(std::vector<net::Cidr> blocks);
+  TargetGenerator(Normalized allow, std::vector<net::Cidr> block, std::uint64_t seed,
+                  double sample_fraction, std::uint64_t shard,
+                  std::uint64_t total_shards);
+
   [[nodiscard]] net::IPv4Address index_to_address(std::uint64_t index) const noexcept;
   [[nodiscard]] bool blocked(net::IPv4Address addr) const noexcept;
 
@@ -56,9 +79,11 @@ class TargetGenerator {
   PermutationIterator iterator_;
   std::uint64_t sample_seed_;
   double sample_fraction_;
+  std::uint64_t last_cycle_index_ = 0;
   std::uint64_t emitted_ = 0;
   std::uint64_t skipped_blocked_ = 0;
   std::uint64_t skipped_sampled_out_ = 0;
+  std::uint64_t merged_overlap_ = 0;
 };
 
 }  // namespace iwscan::scan

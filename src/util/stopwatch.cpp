@@ -1,0 +1,26 @@
+#include "util/stopwatch.hpp"
+
+#include <chrono>
+
+namespace iwscan::util {
+
+namespace {
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Stopwatch::Stopwatch() : start_ns_(now_ns()) {}
+
+void Stopwatch::restart() { start_ns_ = now_ns(); }
+
+std::uint64_t Stopwatch::elapsed_ns() const { return now_ns() - start_ns_; }
+
+double Stopwatch::elapsed_seconds() const {
+  return static_cast<double>(elapsed_ns()) * 1e-9;
+}
+
+}  // namespace iwscan::util

@@ -1,0 +1,30 @@
+// Wall-clock stopwatch — for benchmark reporting ONLY.
+//
+// Everything the scan pipeline itself measures runs in virtual time
+// (sim::SimTime); this type exists so bench targets can report real
+// elapsed time, e.g. the shards=1 vs shards=N speedup rows. The interface
+// is deliberately opaque: the actual clock read lives in stopwatch.cpp,
+// the one wall-clock site the determinism lint rule allows outside netsim.
+// Never use this to pace or order scan work.
+#pragma once
+
+#include <cstdint>
+
+namespace iwscan::util {
+
+class Stopwatch {
+ public:
+  /// Starts running immediately.
+  Stopwatch();
+
+  void restart();
+
+  /// Nanoseconds since construction or the last restart().
+  [[nodiscard]] std::uint64_t elapsed_ns() const;
+  [[nodiscard]] double elapsed_seconds() const;
+
+ private:
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace iwscan::util

@@ -2,7 +2,9 @@
 // pacing, and the single-exchange probe modules.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <utility>
 
 #include "httpd/http_server.hpp"
 #include "scanner/icmp_mtu.hpp"
@@ -161,6 +163,133 @@ TEST(ParseCidrList, ZmapBlocklistFormat) {
 TEST(ParseCidrList, EmptyAndCommentOnly) {
   EXPECT_TRUE(parse_cidr_list("").empty());
   EXPECT_TRUE(parse_cidr_list("# nothing\n   \n# more\n").empty());
+}
+
+TEST(ParseCidrList, CrlfLineEndingsAndMissingTrailingNewline) {
+  // Blocklists edited on Windows arrive with CRLF; files also frequently
+  // end without a final newline. Both must parse identically to LF input.
+  const std::string text =
+      "10.0.0.0/8\r\n"
+      "# comment line\r\n"
+      "192.168.0.0/16   # trailing comment\r\n"
+      "172.16.0.0/12";  // no trailing newline
+  std::vector<std::string> errors;
+  const auto list = parse_cidr_list(text, &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0].first(), net::IPv4Address(10, 0, 0, 0));
+  EXPECT_EQ(list[1].first(), net::IPv4Address(192, 168, 0, 0));
+  EXPECT_EQ(list[2].first(), net::IPv4Address(172, 16, 0, 0));
+  EXPECT_EQ(list[2].prefix_len, 12);
+}
+
+// ------------------------------------------------ allowlist normalization ----
+
+TEST(TargetGenerator, NestedAndDuplicateAllowBlocksAreMerged) {
+  // 10.0.0.0/26 is nested in 10.0.0.0/24, and the /24 repeats: both extras
+  // merge away, so every address is emitted exactly once.
+  TargetGenerator targets({*net::Cidr::parse("10.0.0.0/24"),
+                           *net::Cidr::parse("10.0.0.0/26"),
+                           *net::Cidr::parse("10.0.0.0/24"),
+                           *net::Cidr::parse("10.1.0.0/24")},
+                          {}, 9);
+  EXPECT_EQ(targets.address_space_size(), 512u);
+  EXPECT_EQ(targets.merged_overlap(), 64u + 256u);
+  std::set<net::IPv4Address> seen;
+  while (const auto addr = targets.next()) {
+    EXPECT_TRUE(seen.insert(*addr).second) << addr->to_string();
+  }
+  EXPECT_EQ(seen.size(), 512u);
+}
+
+TEST(TargetGenerator, NestedBlockListedBeforeItsParentIsMerged) {
+  TargetGenerator targets({*net::Cidr::parse("10.0.0.0/26"),
+                           *net::Cidr::parse("10.0.0.0/24")},
+                          {}, 9);
+  EXPECT_EQ(targets.address_space_size(), 256u);
+  EXPECT_EQ(targets.merged_overlap(), 64u);
+  std::set<net::IPv4Address> seen;
+  while (const auto addr = targets.next()) seen.insert(*addr);
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(TargetGenerator, NormalizationPreservesDisjointInputOrder) {
+  // Dropping nested blocks must not disturb the index→address assignment
+  // of the surviving blocks: the emission sequence with redundant blocks
+  // removed equals the sequence over the already-disjoint input.
+  const std::vector<net::Cidr> with_overlap = {
+      *net::Cidr::parse("10.0.0.0/25"), *net::Cidr::parse("10.0.0.0/26"),
+      *net::Cidr::parse("10.9.0.0/26")};
+  const std::vector<net::Cidr> disjoint = {*net::Cidr::parse("10.0.0.0/25"),
+                                           *net::Cidr::parse("10.9.0.0/26")};
+  TargetGenerator a(with_overlap, {}, 11);
+  TargetGenerator b(disjoint, {}, 11);
+  EXPECT_EQ(b.merged_overlap(), 0u);
+  while (true) {
+    const auto addr_a = a.next();
+    const auto addr_b = b.next();
+    EXPECT_EQ(addr_a, addr_b);
+    if (!addr_a || !addr_b) break;
+  }
+}
+
+// ---------------------------------------------------- shard partitioning ----
+
+TEST(TargetGenerator, ShardUnionEqualsSingleShardEmission) {
+  // Property (the contract the parallel executor builds on): for any
+  // (seed, N), the N shards' emissions partition the shards=1 emission set
+  // — union equal, pairwise disjoint — and the skip accounting sums up.
+  const std::vector<net::Cidr> space = {*net::Cidr::parse("10.0.0.0/22"),
+                                        *net::Cidr::parse("10.1.0.0/24")};
+  const std::vector<net::Cidr> block = {*net::Cidr::parse("10.0.2.0/25")};
+  for (const std::uint64_t seed : {3u, 7u, 19u}) {
+    for (const std::uint64_t total_shards : {2u, 3u, 4u, 8u}) {
+      TargetGenerator whole(space, block, seed, 0.6);
+      std::set<net::IPv4Address> single;
+      while (const auto addr = whole.next()) single.insert(*addr);
+
+      std::set<net::IPv4Address> merged;
+      std::uint64_t emitted = 0, blocked = 0, sampled_out = 0;
+      for (std::uint64_t shard = 0; shard < total_shards; ++shard) {
+        TargetGenerator part(space, block, seed, 0.6, shard, total_shards);
+        while (const auto addr = part.next()) {
+          EXPECT_TRUE(merged.insert(*addr).second)
+              << "shards overlap at " << addr->to_string();
+        }
+        emitted += part.emitted();
+        blocked += part.skipped_blocked();
+        sampled_out += part.skipped_sampled_out();
+      }
+      EXPECT_EQ(merged, single) << "seed " << seed << " N " << total_shards;
+      EXPECT_EQ(emitted, whole.emitted());
+      EXPECT_EQ(blocked, whole.skipped_blocked());
+      EXPECT_EQ(sampled_out, whole.skipped_sampled_out());
+    }
+  }
+}
+
+TEST(TargetGenerator, CycleIndexRecoversSingleShardOrderAcrossShards) {
+  // Tagging each emission with its global cycle index and sorting merges
+  // shard streams back into the exact shards=1 order — the deterministic
+  // merge key of exec::ParallelScanRunner.
+  const std::vector<net::Cidr> space = {*net::Cidr::parse("10.0.0.0/23")};
+  const std::vector<net::Cidr> block = {*net::Cidr::parse("10.0.0.64/26")};
+  std::vector<net::IPv4Address> single;
+  TargetGenerator whole(space, block, 13, 0.8);
+  while (const auto addr = whole.next()) single.push_back(*addr);
+
+  std::vector<std::pair<std::uint64_t, net::IPv4Address>> tagged;
+  for (std::uint64_t shard = 0; shard < 4; ++shard) {
+    TargetGenerator part(space, block, 13, 0.8, shard, 4);
+    while (const auto addr = part.next()) {
+      tagged.emplace_back(part.last_cycle_index(), *addr);
+    }
+  }
+  std::sort(tagged.begin(), tagged.end());
+  std::vector<net::IPv4Address> merged;
+  merged.reserve(tagged.size());
+  for (const auto& [cycle, addr] : tagged) merged.push_back(addr);
+  EXPECT_EQ(merged, single);
 }
 
 // -------------------------------------------------------- scan engine ----

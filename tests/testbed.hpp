@@ -40,8 +40,10 @@ class DirectServices final : public scan::SessionServices, public sim::Endpoint 
   void send_packet(net::Bytes bytes) override { network_.send(std::move(bytes)); }
   sim::EventLoop& loop() override { return network_.loop(); }
   net::IPv4Address scanner_address() const override { return kScannerIp; }
-  std::uint16_t allocate_port() override { return next_port_++; }
-  std::uint64_t session_seed() override { return seed_ += 0x9e3779b97f4a7c15ULL; }
+  std::uint16_t allocate_port(net::IPv4Address) override { return next_port_++; }
+  std::uint64_t session_seed(net::IPv4Address) override {
+    return seed_ += 0x9e3779b97f4a7c15ULL;
+  }
 
  private:
   sim::Network& network_;

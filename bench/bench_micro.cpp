@@ -1,8 +1,23 @@
 // Microbenchmarks (google-benchmark): the per-packet hot paths that bound
 // the scanner's achievable rate (§3.4) — codec round trips, checksums,
-// address-permutation iteration, event-loop throughput, and a single
-// estimator connection end-to-end.
+// address-permutation iteration, event-loop throughput, the pooled fabric
+// hop, and a single estimator connection end-to-end.
+//
+// `--json <path>` writes the results as JSON (items/bytes per second plus
+// the allocs_per_packet counters) for the perf-tracking harness; see
+// DESIGN.md §Performance for how CI compares runs against the committed
+// baseline in BENCH_datapath.json.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+// This is the binary's one allocation-counting TU: every global operator
+// new in the process increments util::alloc_stats::allocations(), which
+// the datapath benchmarks report as allocs-per-packet counters.
+#define IWSCAN_COUNT_ALLOCATIONS
+#include "util/alloc_stats.hpp"
 
 #include "core/estimator.hpp"
 #include "httpd/http_server.hpp"
@@ -116,6 +131,55 @@ void BM_EventLoopScheduleRun(benchmark::State& state) {
 }
 BENCHMARK(BM_EventLoopScheduleRun)->Arg(1000)->Arg(100000);
 
+void BM_NetworkPacketDelivery(benchmark::State& state) {
+  // One steady-state fabric hop per iteration: encode into a pooled
+  // buffer, inject, and deliver. allocs_per_packet is the tentpole's
+  // zero-allocation claim, measured: once slab chunks and pool buffers
+  // are warm, a packet should cross the fabric without touching the
+  // allocator.
+  struct Sink final : sim::Endpoint {
+    std::uint64_t received = 0;
+    void handle_packet(net::PacketView bytes) override {
+      benchmark::DoNotOptimize(bytes.data());
+      ++received;
+    }
+  };
+  sim::EventLoop loop;
+  sim::Network network(loop, 1);
+  Sink sink;
+  network.attach(net::IPv4Address{10, 1, 2, 3}, &sink);
+  const auto segment = make_segment(static_cast<std::size_t>(state.range(0)));
+  net::Bytes scratch;
+  net::encode_into(segment, scratch);
+  const std::size_t wire_size = scratch.size();
+
+  // Warm the pool and slab so the counted window is steady state.
+  for (int i = 0; i < 16; ++i) {
+    net::PacketBuf warm = network.pool().acquire();
+    net::encode_into(segment, warm.bytes());
+    network.send(std::move(warm));
+  }
+  loop.run();
+
+  std::uint64_t packets = 0;
+  const std::uint64_t allocs_before = util::alloc_stats::allocations();
+  for (auto _ : state) {
+    net::PacketBuf buf = network.pool().acquire();
+    net::encode_into(segment, buf.bytes());
+    network.send(std::move(buf));
+    loop.run();
+    ++packets;
+  }
+  const std::uint64_t allocs = util::alloc_stats::allocations() - allocs_before;
+  state.counters["allocs_per_packet"] =
+      packets == 0 ? 0.0
+                   : static_cast<double>(allocs) / static_cast<double>(packets);
+  state.SetItemsProcessed(static_cast<std::int64_t>(packets));
+  state.SetBytesProcessed(static_cast<std::int64_t>(packets * wire_size));
+  benchmark::DoNotOptimize(sink.received);
+}
+BENCHMARK(BM_NetworkPacketDelivery)->Arg(0)->Arg(536)->Arg(1460);
+
 void BM_EstimatorConnection(benchmark::State& state) {
   // One complete Fig.-1 estimation against an IW10 host, end to end.
   struct Services final : scan::SessionServices, sim::Endpoint {
@@ -124,7 +188,7 @@ void BM_EstimatorConnection(benchmark::State& state) {
     std::uint16_t port = 40000;
     std::uint64_t seed = 5;
     explicit Services(sim::Network& n) : network(n) {}
-    void handle_packet(const net::Bytes& bytes) override {
+    void handle_packet(net::PacketView bytes) override {
       const auto d = net::decode_datagram(bytes);
       if (d && handler) handler(*d);
     }
@@ -137,6 +201,8 @@ void BM_EstimatorConnection(benchmark::State& state) {
     std::uint64_t session_seed(net::IPv4Address) override { return seed += 12345; }
   };
 
+  std::uint64_t connections = 0;
+  const std::uint64_t allocs_before = util::alloc_stats::allocations();
   for (auto _ : state) {
     sim::EventLoop loop;
     sim::Network network(loop, 3);
@@ -161,10 +227,44 @@ void BM_EstimatorConnection(benchmark::State& state) {
     while (!done && loop.step()) {
     }
     benchmark::DoNotOptimize(done);
+    ++connections;
   }
+  const std::uint64_t allocs = util::alloc_stats::allocations() - allocs_before;
+  state.counters["allocs_per_conn"] =
+      connections == 0
+          ? 0.0
+          : static_cast<double>(allocs) / static_cast<double>(connections);
 }
 BENCHMARK(BM_EstimatorConnection);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--json <path>` / `--json=<path>` is the stable perf-harness interface;
+  // it maps onto google-benchmark's file reporter so CI scripts do not
+  // depend on gbench flag spellings.
+  std::vector<char*> args;
+  std::string out_flag;
+  std::string format_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      out_flag = std::string("--benchmark_out=") + argv[i + 1];
+      ++i;
+    } else if (arg.starts_with("--json=")) {
+      out_flag = std::string("--benchmark_out=") + (argv[i] + 7);
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

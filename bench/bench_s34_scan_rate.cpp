@@ -11,7 +11,9 @@
 // density (48.3 M of ~3.7 B probed addresses ≈ 1.3%).
 #include "bench_common.hpp"
 
+#include <charconv>
 #include <thread>
+#include <vector>
 
 #include "analysis/iw_table.hpp"
 #include "scanner/syn_scan.hpp"
@@ -59,6 +61,27 @@ SynOutcome run_syn_scan(sim::Network& network, model::InternetModel& internet,
   return outcome;
 }
 
+std::vector<std::uint64_t> parse_shard_list(std::string_view text) {
+  std::vector<std::uint64_t> counts;
+  while (!text.empty()) {
+    const std::size_t comma = text.find(',');
+    const std::string_view field = text.substr(0, comma);
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), value);
+    if (ec == std::errc{} && ptr == field.data() + field.size() && value > 0) {
+      counts.push_back(value);
+    } else {
+      std::fprintf(stderr, "bad --shard-list entry: '%.*s'\n",
+                   static_cast<int>(field.size()), field.data());
+      std::exit(2);
+    }
+    text = comma == std::string_view::npos ? std::string_view{}
+                                           : text.substr(comma + 1);
+  }
+  return counts;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -67,12 +90,20 @@ int main(int argc, char** argv) {
   flags.define_double("real-responder-share", 0.013,
                       "responding-address share of the real IPv4 space "
                       "(paper: 48.3M/3.7B)");
+  flags.define_string("json", "",
+                      "write machine-readable results (wall clock, packet "
+                      "rates, shard sweep) to this path");
+  flags.define_string("shard-list", "",
+                      "comma-separated shard counts for the wall-clock sweep "
+                      "(default: 1,<hardware threads or --shards>)");
   bench::parse_or_exit(flags, argc, argv);
 
   bench::print_header("§3.4: IW scan vs. stock SYN scan efficiency", "Section 3.4");
   auto world = bench::make_world(flags);
 
+  util::Stopwatch syn_watch;
   const auto syn = run_syn_scan(*world.network, *world.internet, flags);
+  const double syn_wall_seconds = syn_watch.elapsed_seconds();
 
   // The whole-IPv4 sweep the paper times is a single estimation pass (the
   // repeat probes rescan only the responsive sliver of the space).
@@ -81,7 +112,9 @@ int main(int argc, char** argv) {
   iw_options.probe.probes_per_mss = 1;
   iw_options.probe.mss_secondary = 0;
   iw_options.max_outstanding = 2'000'000;
+  util::Stopwatch iw_watch;
   const auto iw = analysis::run_iw_scan(*world.network, *world.internet, iw_options);
+  const double iw_wall_seconds = iw_watch.elapsed_seconds();
   const auto iw_summary = analysis::summarize(iw.records);
 
   const double rate = flags.real("rate");
@@ -148,33 +181,91 @@ int main(int argc, char** argv) {
       flags.u64("shards") > 1
           ? flags.u64("shards")
           : std::max<std::uint64_t>(1, std::thread::hardware_concurrency());
-  const auto timed_sweep = [&](std::uint64_t shards, std::size_t& records_out) {
+  std::vector<std::uint64_t> shard_counts = {1, hw_shards};
+  if (!flags.str("shard-list").empty()) {
+    shard_counts = parse_shard_list(flags.str("shard-list"));
+  }
+
+  struct Sweep {
+    std::uint64_t shards = 0;
+    std::size_t records = 0;
+    double seconds = 0.0;
+  };
+  std::vector<Sweep> sweeps;
+  for (const std::uint64_t shards : shard_counts) {
     auto fresh = bench::make_world(flags);
     analysis::ScanOptions options = iw_options;
     options.shards = shards;
     util::Stopwatch watch;
     const auto output =
         analysis::run_iw_scan(*fresh.network, *fresh.internet, options);
-    records_out = output.records.size();
-    return watch.elapsed_seconds();
-  };
-  std::size_t single_records = 0;
-  std::size_t multi_records = 0;
-  const double single_seconds = timed_sweep(1, single_records);
-  const double multi_seconds = timed_sweep(hw_shards, multi_records);
+    sweeps.push_back(Sweep{shards, output.records.size(), watch.elapsed_seconds()});
+  }
 
   std::printf("\n");
   analysis::TextTable wall({"Executor", "shards", "records", "wall time"});
-  std::snprintf(buf, sizeof(buf), "%.2f s", single_seconds);
-  wall.add_row({"single-loop", "1", util::format_count(single_records), buf});
-  std::snprintf(buf, sizeof(buf), "%.2f s", multi_seconds);
-  wall.add_row({"parallel (exec)", std::to_string(hw_shards),
-                util::format_count(multi_records), buf});
+  for (const Sweep& sweep : sweeps) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", sweep.seconds);
+    wall.add_row({sweep.shards == 1 ? "single-loop" : "parallel (exec)",
+                  std::to_string(sweep.shards), util::format_count(sweep.records),
+                  buf});
+  }
   bench::print_table(wall, flags.boolean("csv"));
+  const Sweep& first = sweeps.front();
+  const Sweep& last = sweeps.back();
   std::printf("parallel speedup: %.2fx at %llu shards "
               "(%zu == %zu records, byte-identical merge)\n",
-              multi_seconds > 0 ? single_seconds / multi_seconds : 0.0,
-              static_cast<unsigned long long>(hw_shards), single_records,
-              multi_records);
+              last.seconds > 0 ? first.seconds / last.seconds : 0.0,
+              static_cast<unsigned long long>(last.shards), first.records,
+              last.records);
+
+  if (!flags.str("json").empty()) {
+    std::FILE* out = std::fopen(flags.str("json").c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   flags.str("json").c_str());
+      return 1;
+    }
+    const auto pps = [](std::uint64_t packets, double seconds) {
+      return seconds > 0 ? static_cast<double>(packets) / seconds : 0.0;
+    };
+    std::fprintf(out, "{\n  \"bench\": \"bench_s34_scan_rate\",\n");
+    std::fprintf(out,
+                 "  \"config\": {\"scale_log2\": %llu, \"rate_pps\": %.0f, "
+                 "\"seed\": %llu, \"scan_seed\": %llu},\n",
+                 static_cast<unsigned long long>(flags.u64("scale")),
+                 flags.real("rate"),
+                 static_cast<unsigned long long>(flags.u64("seed")),
+                 static_cast<unsigned long long>(flags.u64("scan-seed")));
+    std::fprintf(out,
+                 "  \"syn_scan\": {\"targets\": %llu, \"packets_sent\": %llu, "
+                 "\"wall_seconds\": %.6f, \"packets_per_second\": %.1f},\n",
+                 static_cast<unsigned long long>(syn.stats.targets_started),
+                 static_cast<unsigned long long>(syn.stats.packets_sent),
+                 syn_wall_seconds, pps(syn.stats.packets_sent, syn_wall_seconds));
+    std::fprintf(out,
+                 "  \"iw_scan\": {\"targets\": %llu, \"packets_sent\": %llu, "
+                 "\"records\": %zu, \"wall_seconds\": %.6f, "
+                 "\"packets_per_second\": %.1f},\n",
+                 static_cast<unsigned long long>(iw.engine.targets_started),
+                 static_cast<unsigned long long>(iw.engine.packets_sent),
+                 iw.records.size(), iw_wall_seconds,
+                 pps(iw.engine.packets_sent, iw_wall_seconds));
+    std::fprintf(out, "  \"sweeps\": [\n");
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      const Sweep& sweep = sweeps[i];
+      std::fprintf(out,
+                   "    {\"shards\": %llu, \"records\": %zu, \"wall_seconds\": "
+                   "%.6f, \"records_per_second\": %.1f}%s\n",
+                   static_cast<unsigned long long>(sweep.shards), sweep.records,
+                   sweep.seconds,
+                   sweep.seconds > 0
+                       ? static_cast<double>(sweep.records) / sweep.seconds
+                       : 0.0,
+                   i + 1 < sweeps.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+  }
   return 0;
 }

@@ -26,7 +26,7 @@ class MiniServices final : public scan::SessionServices, public sim::Endpoint {
   void set_handler(std::function<void(const net::Datagram&)> handler) {
     handler_ = std::move(handler);
   }
-  void handle_packet(const net::Bytes& bytes) override {
+  void handle_packet(net::PacketView bytes) override {
     const auto datagram = net::decode_datagram(bytes);
     if (datagram && handler_) handler_(*datagram);
   }

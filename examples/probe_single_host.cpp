@@ -37,7 +37,7 @@ class TracingServices final : public scan::SessionServices, public sim::Endpoint
     handler_ = std::move(handler);
   }
 
-  void handle_packet(const net::Bytes& bytes) override {
+  void handle_packet(net::PacketView bytes) override {
     const auto datagram = net::decode_datagram(bytes);
     if (!datagram) return;
     if (const auto* segment = std::get_if<net::TcpSegment>(&*datagram)) {

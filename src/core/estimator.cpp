@@ -256,7 +256,7 @@ void IwEstimator::send_segment(std::uint32_t seq, std::uint32_t ack, std::uint8_
     segment.tcp.options.push_back(net::MssOption{config_.announced_mss});
   }
   segment.payload.assign(payload.begin(), payload.end());
-  services_.send_packet(net::encode(segment));
+  services_.send_packet(segment);
 }
 
 void IwEstimator::arm_timer(sim::SimTime delay, void (IwEstimator::*handler)()) {

@@ -4,8 +4,8 @@
 
 namespace iwscan::net {
 
-Bytes encode(const TcpSegment& segment) {
-  Bytes out;
+void encode_into(const TcpSegment& segment, Bytes& out) {
+  out.clear();
   const std::size_t tcp_len = segment.tcp.encoded_size() + segment.payload.size();
   out.reserve(Ipv4Header::kSize + tcp_len);
   WireWriter writer(out);
@@ -22,22 +22,32 @@ Bytes encode(const TcpSegment& segment) {
   const std::uint16_t checksum = tcp_checksum(
       ip.src, ip.dst, std::span<const std::uint8_t>(out).subspan(tcp_start));
   writer.patch_u16(tcp_start + 16, checksum);
+}
+
+void encode_into(const IcmpDatagram& datagram, Bytes& out) {
+  out.clear();
+  // ICMP wire size is known up front (8-byte header + payload), so the
+  // message encodes straight into the output — no staging vector.
+  constexpr std::size_t kIcmpHeaderSize = 8;
+  const std::size_t icmp_len = kIcmpHeaderSize + datagram.icmp.payload.size();
+  out.reserve(Ipv4Header::kSize + icmp_len);
+  WireWriter writer(out);
+  Ipv4Header ip = datagram.ip;
+  ip.protocol = kProtocolIcmp;
+  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + icmp_len);
+  ip.encode(writer);
+  datagram.icmp.encode(writer);
+}
+
+Bytes encode(const TcpSegment& segment) {
+  Bytes out;
+  encode_into(segment, out);
   return out;
 }
 
 Bytes encode(const IcmpDatagram& datagram) {
-  Bytes icmp_bytes;
-  WireWriter icmp_writer(icmp_bytes);
-  datagram.icmp.encode(icmp_writer);
-
   Bytes out;
-  out.reserve(Ipv4Header::kSize + icmp_bytes.size());
-  WireWriter writer(out);
-  Ipv4Header ip = datagram.ip;
-  ip.protocol = kProtocolIcmp;
-  ip.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + icmp_bytes.size());
-  ip.encode(writer);
-  writer.raw(icmp_bytes);
+  encode_into(datagram, out);
   return out;
 }
 

@@ -40,6 +40,12 @@ using Datagram = std::variant<TcpSegment, IcmpDatagram>;
 /// Serialize an ICMP datagram.
 [[nodiscard]] Bytes encode(const IcmpDatagram& datagram);
 
+/// encode() into a caller-provided vector (cleared first) — the pooled
+/// datapath: passing a recycled PacketBuf's bytes() makes steady-state
+/// encoding allocation-free once buffers have grown to working size.
+void encode_into(const TcpSegment& segment, Bytes& out);
+void encode_into(const IcmpDatagram& datagram, Bytes& out);
+
 /// Parse any supported datagram. Returns nullopt on malformed bytes, bad
 /// checksum, or unsupported protocol.
 [[nodiscard]] std::optional<Datagram> decode_datagram(std::span<const std::uint8_t> bytes);

@@ -21,20 +21,20 @@ void put_u16le(net::Bytes& out, std::uint16_t value) {
 
 }  // namespace
 
-void PacketCapture::record(SimTime timestamp, const net::Bytes& bytes) {
+void PacketCapture::record(SimTime timestamp, net::PacketView bytes) {
   if (limit_ != 0 && entries_.size() >= limit_) {
     entries_.erase(entries_.begin());
   }
-  entries_.push_back(Entry{timestamp, bytes});
+  entries_.push_back(Entry{timestamp, net::Bytes(bytes.begin(), bytes.end())});
 }
 
 void PacketCapture::attach(Network& network) {
-  network.set_tap([this, &network](const net::Bytes& bytes) {
+  network.set_tap([this, &network](net::PacketView bytes) {
     record(network.loop().now(), bytes);
   });
 }
 
-std::string format_packet(const net::Bytes& bytes) {
+std::string format_packet(net::PacketView bytes) {
   const auto datagram = net::decode_datagram(bytes);
   if (!datagram) return "[malformed datagram, " + std::to_string(bytes.size()) + " B]";
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "netbase/packet.hpp"
+#include "netbase/packet_buf.hpp"
 #include "netsim/event_loop.hpp"
 
 namespace iwscan::sim {
@@ -21,8 +22,9 @@ class PacketCapture {
     net::Bytes bytes;
   };
 
-  /// Record one datagram (called by the Network tap or manually).
-  void record(SimTime timestamp, const net::Bytes& bytes);
+  /// Record one datagram (called by the Network tap or manually). The
+  /// bytes are copied out of the borrowed view into the entry.
+  void record(SimTime timestamp, net::PacketView bytes);
 
   /// Install this capture as the network's tap (replaces any previous tap).
   void attach(Network& network);
@@ -49,6 +51,6 @@ class PacketCapture {
 };
 
 /// Render one datagram as a tcpdump-like line (no timestamp).
-[[nodiscard]] std::string format_packet(const net::Bytes& bytes);
+[[nodiscard]] std::string format_packet(net::PacketView bytes);
 
 }  // namespace iwscan::sim

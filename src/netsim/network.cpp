@@ -21,7 +21,8 @@ util::Rng& Network::flow_rng(net::IPv4Address src, net::IPv4Address dst) {
   return it->second;
 }
 
-void Network::send(net::Bytes bytes) {
+void Network::send(net::PacketBuf packet) {
+  const net::PacketView bytes = packet.view();
   const auto dst = net::peek_destination(bytes);
   const auto src = net::peek_source(bytes);
   if (!dst || !src) {
@@ -84,15 +85,17 @@ void Network::send(net::Bytes bytes) {
   const net::IPv4Address destination = *dst;
   if (path.duplicate_rate > 0.0 && rng.chance(path.duplicate_rate)) {
     // Duplicate delivery (e.g. spurious link-layer retransmission): the
-    // copy trails the original slightly.
+    // copy trails the original slightly. Copying the handle shares the
+    // buffer — the duplicate costs a refcount bump, not a byte copy.
     ++stats_.packets_duplicated;
-    deliver(delay + path.duplicate_delay, destination, bytes);
+    deliver(delay + path.duplicate_delay, destination, packet);
   }
-  deliver(delay, destination, std::move(bytes));
+  deliver(delay, destination, std::move(packet));
 }
 
-void Network::deliver(SimTime delay, net::IPv4Address destination, net::Bytes bytes) {
-  loop_.schedule(delay, [this, destination, data = std::move(bytes)]() {
+void Network::deliver(SimTime delay, net::IPv4Address destination,
+                      net::PacketBuf packet) {
+  loop_.schedule(delay, [this, destination, packet = std::move(packet)]() {
     Endpoint* endpoint = nullptr;
     if (const auto it = endpoints_.find(destination); it != endpoints_.end()) {
       endpoint = it->second;
@@ -104,13 +107,13 @@ void Network::deliver(SimTime delay, net::IPv4Address destination, net::Bytes by
       return;
     }
     ++stats_.packets_delivered;
-    endpoint->handle_packet(data);
+    endpoint->handle_packet(packet.view());
   });
 }
 
 void Network::send_frag_needed(net::IPv4Address original_src,
                                net::IPv4Address original_dst,
-                               std::uint32_t next_hop_mtu, const net::Bytes& original) {
+                               std::uint32_t next_hop_mtu, net::PacketView original) {
   net::IcmpDatagram reply;
   // A real router answers from its own interface address; we source the
   // message from the unreachable destination, which is equally useful to
@@ -128,23 +131,10 @@ void Network::send_frag_needed(net::IPv4Address original_src,
                             original.begin() + static_cast<std::ptrdiff_t>(quote));
 
   // The ICMP reply traverses the same path back (without MTU trouble).
-  net::Bytes encoded = net::encode(reply);
+  net::PacketBuf encoded = pool_.acquire();
+  net::encode_into(reply, encoded.bytes());
   const PathConfig& path = path_for(original_dst);
-  const net::IPv4Address destination = original_src;
-  loop_.schedule(path.latency, [this, destination, data = std::move(encoded)]() {
-    Endpoint* endpoint = nullptr;
-    if (const auto it = endpoints_.find(destination); it != endpoints_.end()) {
-      endpoint = it->second;
-    } else if (resolver_) {
-      endpoint = resolver_(destination);
-    }
-    if (endpoint == nullptr) {
-      ++stats_.packets_unroutable;
-      return;
-    }
-    ++stats_.packets_delivered;
-    endpoint->handle_packet(data);
-  });
+  deliver(path.latency, original_src, std::move(encoded));
 }
 
 }  // namespace iwscan::sim

@@ -14,6 +14,7 @@
 
 #include "netbase/ipv4.hpp"
 #include "netbase/packet.hpp"
+#include "netbase/packet_buf.hpp"
 #include "netsim/event_loop.hpp"
 #include "util/rng.hpp"
 
@@ -23,8 +24,10 @@ namespace iwscan::sim {
 class Endpoint {
  public:
   virtual ~Endpoint() = default;
-  /// Called when a datagram addressed to this endpoint is delivered.
-  virtual void handle_packet(const net::Bytes& bytes) = 0;
+  /// Called when a datagram addressed to this endpoint is delivered. The
+  /// view borrows the fabric's pooled buffer for the duration of the call;
+  /// endpoints that keep packet bytes must copy them.
+  virtual void handle_packet(net::PacketView bytes) = 0;
 };
 
 /// Impairment model for one path (scanner ↔ host).
@@ -75,16 +78,27 @@ class Network {
     return endpoints_.contains(addr);
   }
 
+  /// Pre-size the address-keyed maps for `expected` additional endpoints
+  /// so a scan's lazy host instantiation does not rehash mid-flight.
+  /// Flow-RNG entries are keyed per (address, direction), hence 2x. Pure
+  /// capacity hint: nothing iterates these maps, so the (bucket-order
+  /// dependent) behavior of the fabric is unchanged.
+  void reserve_endpoints(std::size_t expected) {
+    endpoints_.reserve(endpoints_.size() + expected);
+    paths_.reserve(paths_.size() + expected);
+    flow_rngs_.reserve(flow_rngs_.size() + 2 * expected);
+  }
+
   void set_resolver(Resolver resolver) { resolver_ = std::move(resolver); }
 
   /// Deterministic fault injection for tests: invoked for every packet
   /// before impairments; returning false drops it (counted as lost).
-  using Filter = std::function<bool(const net::Bytes&)>;
+  using Filter = std::function<bool(net::PacketView)>;
   void set_filter(Filter filter) { filter_ = std::move(filter); }
 
   /// Wire tap (see PacketCapture): observes every packet at injection
   /// time, before any impairment — the sender-side vantage point.
-  using Tap = std::function<void(const net::Bytes&)>;
+  using Tap = std::function<void(net::PacketView)>;
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
   void set_default_path(const PathConfig& config) { default_path_ = config; }
@@ -100,7 +114,17 @@ class Network {
   /// destination; impairments use the path keyed by the *remote* side
   /// (destination for scanner→host, source for host→scanner — the same
   /// path object, so loss is symmetric per host as on one Internet path).
-  void send(net::Bytes bytes);
+  /// The buffer should come from this fabric's pool(); duplication and the
+  /// delivery hop then share it by handle instead of copying bytes.
+  void send(net::PacketBuf packet);
+
+  /// Compatibility overload for callers that still build owned byte
+  /// vectors; the vector is adopted into the pool.
+  void send(net::Bytes bytes) { send(pool_.adopt(std::move(bytes))); }
+
+  /// Recycled packet buffers for senders on this fabric (one pool per
+  /// shard; see packet_buf.hpp for the ownership rules).
+  [[nodiscard]] net::BufferPool& pool() noexcept { return pool_; }
 
   [[nodiscard]] const NetworkStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
@@ -110,9 +134,9 @@ class Network {
  private:
   [[nodiscard]] const PathConfig& path_for(net::IPv4Address remote) const;
   [[nodiscard]] util::Rng& flow_rng(net::IPv4Address src, net::IPv4Address dst);
-  void deliver(SimTime delay, net::IPv4Address destination, net::Bytes bytes);
+  void deliver(SimTime delay, net::IPv4Address destination, net::PacketBuf packet);
   void send_frag_needed(net::IPv4Address original_src, net::IPv4Address original_dst,
-                        std::uint32_t next_hop_mtu, const net::Bytes& original);
+                        std::uint32_t next_hop_mtu, net::PacketView original);
 
   EventLoop& loop_;
   std::uint64_t seed_;
@@ -124,6 +148,7 @@ class Network {
   std::unordered_map<std::uint64_t, util::Rng> flow_rngs_;
   std::unordered_map<net::IPv4Address, Endpoint*> endpoints_;
   std::unordered_map<net::IPv4Address, PathConfig> paths_;
+  net::BufferPool pool_;
   PathConfig default_path_;
   Resolver resolver_;
   Filter filter_;

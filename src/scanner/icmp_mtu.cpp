@@ -59,7 +59,7 @@ class MtuSession final : public ProbeSession {
     echo.icmp.seq_or_mtu = static_cast<std::uint16_t>(probes_sent_);
     // Pad so the datagram is exactly `mtu` bytes: 20 IP + 8 ICMP + payload.
     echo.icmp.payload.assign(mtu > 28 ? mtu - 28 : 0, 0x5a);
-    services_.send_packet(net::encode(echo));
+    services_.send_packet(echo);
 
     services_.loop().cancel(timeout_event_);
     timeout_event_ = services_.loop().schedule(config_.timeout, [this] {

@@ -9,7 +9,18 @@ ScanEngine::ScanEngine(sim::Network& network, EngineConfig config,
     : network_(network),
       config_(config),
       targets_(std::move(targets)),
-      module_(module) {}
+      module_(module) {
+  // Session/draw maps never exceed the outstanding window, and the fabric
+  // instantiates at most one endpoint per in-flight target plus whatever
+  // is already attached — reserve both up front so the steady-state scan
+  // loop never rehashes (ScanOptions::max_outstanding flows in via
+  // EngineConfig; the allowlist bounds it for small worlds).
+  const std::size_t hint = static_cast<std::size_t>(std::min<std::uint64_t>(
+      config_.max_outstanding, targets_.address_space_size()));
+  sessions_.reserve(hint);
+  draws_.reserve(hint);
+  network_.reserve_endpoints(hint);
+}
 
 ScanEngine::~ScanEngine() {
   network_.loop().cancel(pace_event_);
@@ -95,7 +106,7 @@ void ScanEngine::finish_session(net::IPv4Address target) {
   }
 }
 
-void ScanEngine::handle_packet(const net::Bytes& bytes) {
+void ScanEngine::handle_packet(net::PacketView bytes) {
   ++stats_.packets_received;
   const auto datagram = net::decode_datagram(bytes);
   if (!datagram) {
@@ -115,6 +126,11 @@ void ScanEngine::handle_packet(const net::Bytes& bytes) {
 void ScanEngine::send_packet(net::Bytes bytes) {
   ++stats_.packets_sent;
   network_.send(std::move(bytes));
+}
+
+void ScanEngine::send_packet(net::PacketBuf packet) {
+  ++stats_.packets_sent;
+  network_.send(std::move(packet));
 }
 
 ScanEngine::TargetDraws& ScanEngine::target_draws(net::IPv4Address target) {

@@ -28,6 +28,23 @@ class SessionServices {
  public:
   virtual ~SessionServices() = default;
   virtual void send_packet(net::Bytes bytes) = 0;
+  /// Pooled-buffer variant of send_packet. The default forwards to the
+  /// owned-bytes overload so lightweight test/bench implementations need
+  /// only the one method; ScanEngine overrides it to hand the buffer to
+  /// the fabric without a copy.
+  virtual void send_packet(net::PacketBuf packet) {
+    send_packet(packet.take_bytes());
+  }
+  /// Recycled buffers for outgoing packets, or nullptr when the transport
+  /// has no pool (sessions then fall back to owned-bytes encoding).
+  [[nodiscard]] virtual net::BufferPool* packet_pool() { return nullptr; }
+
+  /// Encode-and-send conveniences used by the probe modules' hot paths:
+  /// route through the pooled buffer when one is available so steady-state
+  /// probing does not allocate per packet.
+  void send_packet(const net::TcpSegment& segment) { encode_and_send(segment); }
+  void send_packet(const net::IcmpDatagram& datagram) { encode_and_send(datagram); }
+
   [[nodiscard]] virtual sim::EventLoop& loop() = 0;
   [[nodiscard]] virtual net::IPv4Address scanner_address() const = 0;
   /// Fresh ephemeral source port for a connection to `target`. Allocation
@@ -39,6 +56,18 @@ class SessionServices {
   /// Deterministic per-session randomness, keyed by (scan seed, target) so
   /// a target's draw sequence is independent of launch interleaving.
   [[nodiscard]] virtual std::uint64_t session_seed(net::IPv4Address target) = 0;
+
+ private:
+  template <typename Packet>
+  void encode_and_send(const Packet& packet) {
+    if (net::BufferPool* pool = packet_pool()) {
+      net::PacketBuf buf = pool->acquire();
+      net::encode_into(packet, buf.bytes());
+      send_packet(std::move(buf));
+    } else {
+      send_packet(net::encode(packet));
+    }
+  }
 };
 
 /// One in-flight target conversation. Created by a ProbeModule; must call
@@ -126,10 +155,15 @@ class ScanEngine final : public sim::Endpoint, public SessionServices {
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
 
   // sim::Endpoint
-  void handle_packet(const net::Bytes& bytes) override;
+  void handle_packet(net::PacketView bytes) override;
 
   // SessionServices
+  using SessionServices::send_packet;  // keep the encode conveniences visible
   void send_packet(net::Bytes bytes) override;
+  void send_packet(net::PacketBuf packet) override;
+  [[nodiscard]] net::BufferPool* packet_pool() override {
+    return &network_.pool();
+  }
   [[nodiscard]] sim::EventLoop& loop() override { return network_.loop(); }
   [[nodiscard]] net::IPv4Address scanner_address() const override {
     return config_.scanner_address;

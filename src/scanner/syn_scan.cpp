@@ -29,7 +29,7 @@ class SynSession final : public ProbeSession {
     syn.tcp.seq = isn_;
     syn.tcp.flags = net::kSyn;
     syn.tcp.window = 65535;
-    services_.send_packet(net::encode(syn));
+    services_.send_packet(syn);
 
     timeout_event_ = services_.loop().schedule(config_.timeout, [this] {
       timeout_event_ = sim::kNullEvent;
@@ -60,7 +60,7 @@ class SynSession final : public ProbeSession {
       rst.tcp.dst_port = config_.port;
       rst.tcp.seq = isn_ + 1;
       rst.tcp.flags = net::kRst;
-      services_.send_packet(net::encode(rst));
+      services_.send_packet(rst);
       conclude(PortState::Open);
     }
   }

@@ -22,7 +22,7 @@ void TcpHost::listen(std::uint16_t port, AppFactory factory,
 
 void TcpHost::close_port(std::uint16_t port) { listeners_.erase(port); }
 
-void TcpHost::handle_packet(const net::Bytes& bytes) {
+void TcpHost::handle_packet(net::PacketView bytes) {
   const auto datagram = net::decode_datagram(bytes);
   if (!datagram) return;  // corrupt on the wire; real stacks drop silently
   if (const auto* tcp = std::get_if<net::TcpSegment>(&*datagram)) {
@@ -109,11 +109,15 @@ void TcpHost::on_icmp(const net::IcmpDatagram& datagram) {
   reply.icmp.id_or_unused = datagram.icmp.id_or_unused;
   reply.icmp.seq_or_mtu = datagram.icmp.seq_or_mtu;
   reply.icmp.payload = datagram.icmp.payload;
-  network_.send(net::encode(reply));
+  net::PacketBuf packet = network_.pool().acquire();
+  net::encode_into(reply, packet.bytes());
+  network_.send(std::move(packet));
 }
 
 void TcpHost::transmit(net::TcpSegment&& segment) {
-  network_.send(net::encode(segment));
+  net::PacketBuf packet = network_.pool().acquire();
+  net::encode_into(segment, packet.bytes());
+  network_.send(std::move(packet));
 }
 
 void TcpHost::reap_graveyard() {

@@ -36,7 +36,7 @@ class TcpHost : public sim::Endpoint {
 
   void set_icmp_echo(bool enabled) noexcept { icmp_echo_ = enabled; }
 
-  void handle_packet(const net::Bytes& bytes) override;
+  void handle_packet(net::PacketView bytes) override;
 
   [[nodiscard]] net::IPv4Address address() const noexcept { return address_; }
   [[nodiscard]] const StackConfig& config() const noexcept { return config_; }

@@ -1,0 +1,126 @@
+// Opt-in allocation counting for performance tests and benchmarks.
+//
+// Define IWSCAN_COUNT_ALLOCATIONS in EXACTLY ONE translation unit of a
+// binary before including this header: that TU then emits replacement
+// global operator new/delete which count every allocation. Every other TU
+// may include the header freely for the read-side API. When no TU in the
+// binary defines the macro, nothing is replaced and allocations() reads 0.
+//
+// The replacements forward to std::malloc/std::free (the only permitted
+// call sites of the malloc family in this codebase — see tools/lint), so
+// sanitizer interceptors still observe every allocation and the counter
+// works unchanged under ASan/TSan. The counter is atomic because worker
+// threads (exec::ThreadPool) allocate concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace iwscan::util::alloc_stats {
+
+// Inline variable: one definition shared by every TU that includes this
+// header, written only by the counting operator new below.
+inline std::atomic<std::uint64_t> g_allocation_count{0};
+
+/// Global operator-new calls since process start (0 unless one TU of the
+/// binary was built with IWSCAN_COUNT_ALLOCATIONS).
+[[nodiscard]] inline std::uint64_t allocations() noexcept {
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace iwscan::util::alloc_stats
+
+#ifdef IWSCAN_COUNT_ALLOCATIONS
+
+#include <cstdlib>
+#include <new>
+
+namespace iwscan::util::alloc_stats::detail {
+
+inline void* counted_alloc_nothrow(std::size_t size) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+inline void* counted_alloc_nothrow(std::size_t size,
+                                   std::align_val_t align) noexcept {
+  g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  const auto alignment = static_cast<std::size_t>(align);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
+}
+
+inline void* counted_alloc(std::size_t size) {
+  void* ptr = counted_alloc_nothrow(size);
+  if (ptr == nullptr) throw std::bad_alloc{};
+  return ptr;
+}
+
+inline void* counted_alloc(std::size_t size, std::align_val_t align) {
+  void* ptr = counted_alloc_nothrow(size, align);
+  if (ptr == nullptr) throw std::bad_alloc{};
+  return ptr;
+}
+
+}  // namespace iwscan::util::alloc_stats::detail
+
+void* operator new(std::size_t size) {
+  return iwscan::util::alloc_stats::detail::counted_alloc(size);
+}
+void* operator new[](std::size_t size) {
+  return iwscan::util::alloc_stats::detail::counted_alloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return iwscan::util::alloc_stats::detail::counted_alloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return iwscan::util::alloc_stats::detail::counted_alloc(size, align);
+}
+
+// The nothrow family must be replaced too: libstdc++ reaches it from
+// library internals (e.g. std::stable_sort's temporary buffer), and a
+// default-library nothrow new paired with the free()-backed replacement
+// delete below is an alloc/dealloc mismatch under ASan.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return iwscan::util::alloc_stats::detail::counted_alloc_nothrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return iwscan::util::alloc_stats::detail::counted_alloc_nothrow(size);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return iwscan::util::alloc_stats::detail::counted_alloc_nothrow(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return iwscan::util::alloc_stats::detail::counted_alloc_nothrow(size, align);
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+
+#endif  // IWSCAN_COUNT_ALLOCATIONS

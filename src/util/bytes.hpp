@@ -1,9 +1,11 @@
 // Byte ↔ text bridging for codec boundaries (TCP payload bytes carrying
-// ASCII protocols). Centralizes the two reinterpret_casts the codebase
-// needs so call sites stay cast-free and greppable.
+// ASCII protocols). Centralizes the two reinterpret_casts — and the one
+// raw-memory word load — the codebase needs so call sites stay cast-free
+// and greppable.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <span>
 #include <string_view>
 
@@ -14,6 +16,17 @@ namespace iwscan::util {
     std::span<const std::uint8_t> bytes) noexcept {
   if (bytes.empty()) return {};
   return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+/// Load 8 bytes as a u64 in *native* byte order — the single audited raw
+/// word read, for word-at-a-time kernels (callers that need a fixed
+/// endianness must gate on std::endian::native). Compiles to one unaligned
+/// load; `bytes` must point at ≥ 8 readable bytes.
+[[nodiscard]] inline std::uint64_t load_u64_native(
+    const std::uint8_t* bytes) noexcept {
+  std::uint64_t value;
+  std::memcpy(&value, bytes, sizeof(value));
+  return value;
 }
 
 /// View text as raw bytes. The text must outlive the span.

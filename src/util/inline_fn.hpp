@@ -1,0 +1,164 @@
+// Small-buffer move-only `void()` callable for hot paths.
+//
+// std::function heap-allocates for any capture that is large or not
+// trivially copyable; the event loop stores millions of short-lived
+// callbacks per scan, so per-callback allocations and expensive moves
+// dominate the schedule/fire cost. InlineFn keeps callables up to
+// kInlineSize bytes inside the object. Trivially-copyable captures (the
+// overwhelming majority: a `this` pointer plus a few captured words)
+// relocate with a plain byte copy — no indirect call; non-trivial captures
+// relocate through a per-type table; large or potentially-throwing-move
+// callables fall back to a single heap box so relocation stays noexcept
+// either way.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace iwscan::util {
+
+class InlineFn {
+ public:
+  /// Inline capture budget, sized so the event-loop slab slot (InlineFn +
+  /// bookkeeping) stays within one cache line. Five pointers covers every
+  /// capture list on the simulator's hot paths; anything bigger silently
+  /// boxes on the heap.
+  static constexpr std::size_t kInlineSize = 40;
+
+  InlineFn() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(fn));
+  }
+
+  /// Destroy the current callable (if any) and construct `fn` directly in
+  /// the inline storage — lets owners build callables in place instead of
+  /// routing them through a temporary and a relocating move.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& fn) {
+    reset();
+    if constexpr (stored_inline<D>()) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
+    }
+    ops_ = select_ops<D>();
+  }
+
+  InlineFn(InlineFn&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      take_storage(other);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        take_storage(other);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Invoke the stored callable. No-op when empty.
+  void operator()() {
+    if (ops_ != nullptr) ops_->invoke(storage_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(std::byte* storage);
+    // Move-construct into `to` and destroy the source; null when a plain
+    // copy of `size` bytes relocates (trivially-copyable payloads and the
+    // heap-box pointer). Noexcept by construction: inline storage is only
+    // used for nothrow-movable types.
+    void (*relocate)(std::byte* from, std::byte* to) noexcept;
+    // Null for trivially-destructible inline payloads.
+    void (*destroy)(std::byte* storage) noexcept;
+    // Payload size for the trivial-relocation copy. Copying exactly the
+    // payload (not the whole buffer) keeps the loads inside freshly-written
+    // bytes, which store-forwards cleanly on the schedule→slot→fire path.
+    std::uint32_t size;
+  };
+
+  void take_storage(InlineFn& other) noexcept {
+    if (ops_->relocate == nullptr) {
+      std::copy_n(other.storage_, ops_->size, storage_);
+    } else {
+      ops_->relocate(other.storage_, storage_);
+    }
+  }
+
+  template <typename D>
+  static constexpr bool stored_inline() {
+    return sizeof(D) <= kInlineSize && alignof(void*) >= alignof(D) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename T>
+  [[nodiscard]] static T* slot(std::byte* storage) noexcept {
+    return std::launder(static_cast<T*>(static_cast<void*>(storage)));
+  }
+
+  template <typename D>
+  [[nodiscard]] static const Ops* select_ops() noexcept {
+    if constexpr (stored_inline<D>()) {
+      static constexpr Ops ops{
+          [](std::byte* storage) { (*slot<D>(storage))(); },
+          std::is_trivially_copyable_v<D>
+              ? nullptr
+              : +[](std::byte* from, std::byte* to) noexcept {
+                  ::new (static_cast<void*>(to)) D(std::move(*slot<D>(from)));
+                  slot<D>(from)->~D();
+                },
+          std::is_trivially_destructible_v<D>
+              ? nullptr
+              : +[](std::byte* storage) noexcept { slot<D>(storage)->~D(); },
+          static_cast<std::uint32_t>(sizeof(D)),
+      };
+      return &ops;
+    } else {
+      static constexpr Ops ops{
+          [](std::byte* storage) { (**slot<D*>(storage))(); },
+          nullptr,  // relocating the box is copying its pointer
+          [](std::byte* storage) noexcept { delete *slot<D*>(storage); },
+          static_cast<std::uint32_t>(sizeof(D*)),
+      };
+      return &ops;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(alignof(void*)) std::byte storage_[kInlineSize];
+};
+
+}  // namespace iwscan::util

@@ -286,7 +286,7 @@ TEST(Estimator, LostRequestIsResentOnDuplicateSynAck) {
   bed.add_http_host(host, stack_with_iw(10), big_page(16'000));
 
   int requests_seen = 0;
-  bed.network().set_filter([&](const net::Bytes& bytes) {
+  bed.network().set_filter([&](net::PacketView bytes) {
     const auto datagram = net::decode_datagram(bytes);
     if (!datagram) return true;
     const auto* segment = std::get_if<net::TcpSegment>(&*datagram);
@@ -311,7 +311,7 @@ TEST(Estimator, LostSynAckMeansUnreachable) {
   Testbed bed;
   const net::IPv4Address host{10, 0, 0, 17};
   bed.add_http_host(host, stack_with_iw(10), big_page(16'000));
-  bed.network().set_filter([&](const net::Bytes& bytes) {
+  bed.network().set_filter([&](net::PacketView bytes) {
     const auto datagram = net::decode_datagram(bytes);
     if (!datagram) return true;
     const auto* segment = std::get_if<net::TcpSegment>(&*datagram);

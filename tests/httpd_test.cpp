@@ -193,7 +193,7 @@ class FetchClient final : public sim::Endpoint {
     send(isn_, 0, net::kSyn, std::optional<std::uint16_t>(1460));
   }
 
-  void handle_packet(const net::Bytes& bytes) override {
+  void handle_packet(net::PacketView bytes) override {
     const auto datagram = net::decode_datagram(bytes);
     if (!datagram) return;
     const auto* segment = std::get_if<net::TcpSegment>(&*datagram);

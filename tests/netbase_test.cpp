@@ -109,6 +109,62 @@ TEST(Checksum, VerifiesToZero) {
   EXPECT_EQ(internet_checksum(data), 0);
 }
 
+TEST(Checksum, WordWiseMatchesScalarOracle) {
+  // Property test for the word-at-a-time kernel: for random lengths and
+  // start alignments covering every residue the 8-byte loop can see
+  // (head < 8 bytes, odd trailing byte, sub-word buffers), the fast path
+  // must equal the byte-pair reference.
+  util::Rng rng(0xc5'c5'c5'c5);
+  std::vector<std::uint8_t> arena(2048 + 16);
+  for (std::uint8_t& byte : arena) {
+    byte = static_cast<std::uint8_t>(rng());
+  }
+  for (int trial = 0; trial < 2000; ++trial) {
+    const std::size_t offset = rng.below(9);
+    const std::size_t length = rng.below(2001);
+    const std::span<const std::uint8_t> bytes{arena.data() + offset, length};
+    ASSERT_EQ(internet_checksum(bytes), internet_checksum_scalar(bytes))
+        << "offset=" << offset << " length=" << length;
+  }
+}
+
+TEST(Checksum, CarryFoldSurvivesAllOnes) {
+  // All-0xff input maximises per-word sums; repeated add() calls push the
+  // 64-bit accumulator through its carry folds. The scalar oracle run on
+  // the identical sequence must finish() to the same value.
+  const std::vector<std::uint8_t> ones(1500, 0xff);
+  ChecksumAccumulator fast;
+  ChecksumAccumulator oracle;
+  for (int i = 0; i < 64; ++i) {
+    fast.add(ones);
+    oracle.add_scalar(ones);
+  }
+  EXPECT_EQ(fast.finish(), oracle.finish());
+}
+
+TEST(Checksum, ChunkedAddsMatchSingleAdd) {
+  // RFC 1071: the sum is associative over even-length splits, and our
+  // accumulator also pads each add()'s odd trailing byte — so splitting at
+  // even offsets must be equivalent to one contiguous add. This is how
+  // tcp_checksum mixes pseudo-header, header, and payload spans.
+  util::Rng rng(7);
+  std::vector<std::uint8_t> data(1499);
+  for (std::uint8_t& byte : data) {
+    byte = static_cast<std::uint8_t>(rng());
+  }
+  ChecksumAccumulator whole;
+  whole.add(data);
+  ChecksumAccumulator chunked;
+  std::size_t cursor = 0;
+  while (cursor < data.size()) {
+    std::size_t step = 2 * (1 + rng.below(64));
+    step = std::min(step, data.size() - cursor);
+    chunked.add({data.data() + cursor, step});
+    cursor += step;
+  }
+  EXPECT_EQ(chunked.finish(), whole.finish());
+}
+
 // -------------------------------------------------------- TCP options ----
 
 TEST(TcpOptions, RoundTripStandardSet) {

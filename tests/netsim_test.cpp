@@ -93,12 +93,85 @@ TEST(EventLoop, StepReturnsFalseWhenEmpty) {
   EXPECT_FALSE(loop.step());
 }
 
+TEST(EventLoop, StaleIdCannotCancelReusedSlot) {
+  // Cancelling frees the slab slot for immediate reuse; the old EventId
+  // carries the slot's previous generation and must never cancel the new
+  // occupant.
+  EventLoop loop;
+  bool first = false;
+  bool second = false;
+  const EventId a = loop.schedule(msec(1), [&] { first = true; });
+  loop.cancel(a);
+  loop.schedule(msec(2), [&] { second = true; });  // recycles a's slot
+  loop.cancel(a);                                  // stale id: must be a no-op
+  loop.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+}
+
+TEST(EventLoop, IdKeptPastFiringCannotCancelReusedSlot) {
+  EventLoop loop;
+  bool second = false;
+  const EventId a = loop.schedule(msec(1), [] {});
+  loop.run();
+  loop.schedule(msec(1), [&] { second = true; });  // may reuse a's slot
+  loop.cancel(a);  // fired long ago; generation mismatch makes this a no-op
+  loop.run();
+  EXPECT_TRUE(second);
+}
+
+TEST(EventLoop, CancelThenRescheduleKeepsTieBreakOrder) {
+  // Same-instant events fire in schedule order even when cancellations
+  // punch holes in the sequence and their slots are re-armed in between.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(msec(5), [&] { order.push_back(0); });
+  const EventId cancelled = loop.schedule(msec(5), [&] { order.push_back(99); });
+  loop.schedule(msec(5), [&] { order.push_back(1); });
+  loop.cancel(cancelled);
+  loop.schedule(msec(5), [&] { order.push_back(2); });  // reuses the freed slot
+  loop.schedule(msec(1), [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{3, 0, 1, 2}));
+}
+
+TEST(EventLoop, PendingEventsExcludesLazilyCancelledEntries) {
+  EventLoop loop;
+  const EventId a = loop.schedule(msec(1), [] {});
+  const EventId b = loop.schedule(msec(2), [] {});
+  loop.schedule(msec(3), [] {});
+  EXPECT_EQ(loop.pending_events(), 3u);
+  loop.cancel(a);
+  loop.cancel(b);
+  // The wheel still parks the cancelled records (they are dropped lazily at
+  // drain time), but neither pending_events() nor empty() may count them.
+  EXPECT_EQ(loop.pending_events(), 1u);
+  EXPECT_FALSE(loop.empty());
+  EXPECT_TRUE(loop.step());
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_TRUE(loop.empty());
+  EXPECT_FALSE(loop.step());
+}
+
+TEST(EventLoop, FarFutureEventsFireInScheduleOrder) {
+  // Beyond the wheel horizon events wait in an overflow list; they must
+  // still fire in (when, schedule-order) order once the loop reaches them.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule(sec(7200), [&] { order.push_back(1); });
+  loop.schedule(sec(7200), [&] { order.push_back(2); });
+  loop.schedule(msec(1), [&] { order.push_back(0); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(loop.now(), sec(7200));
+}
+
 // ----------------------------------------------------------- Network -----
 
 class Collector final : public Endpoint {
  public:
-  void handle_packet(const net::Bytes& bytes) override {
-    packets.push_back(bytes);
+  void handle_packet(net::PacketView bytes) override {
+    packets.emplace_back(bytes.begin(), bytes.end());
   }
   std::vector<net::Bytes> packets;
 };
@@ -334,7 +407,7 @@ TEST(Network, FilterDropsDeterministically) {
   Collector b;
   network.attach(kB, &b);
   int dropped = 0;
-  network.set_filter([&](const net::Bytes& bytes) {
+  network.set_filter([&](net::PacketView bytes) {
     if (bytes.size() > 60) {
       ++dropped;
       return false;

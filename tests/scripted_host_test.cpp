@@ -40,7 +40,7 @@ class ScriptedServer final : public sim::Endpoint {
     network_.loop().cancel(rto_event_);
   }
 
-  void handle_packet(const net::Bytes& bytes) override {
+  void handle_packet(net::PacketView bytes) override {
     const auto datagram = net::decode_datagram(bytes);
     if (!datagram) return;
     const auto* segment = std::get_if<net::TcpSegment>(&*datagram);
@@ -283,7 +283,7 @@ class VaryingServer final : public sim::Endpoint {
     for (auto& [port, conn] : connections_) network_.loop().cancel(conn.rto);
   }
 
-  void handle_packet(const net::Bytes& bytes) override {
+  void handle_packet(net::PacketView bytes) override {
     const auto datagram = net::decode_datagram(bytes);
     if (!datagram) return;
     const auto* segment = std::get_if<net::TcpSegment>(&*datagram);

@@ -24,7 +24,7 @@ class RawClient final : public sim::Endpoint {
   }
   ~RawClient() override { network_.detach(kClientIp); }
 
-  void handle_packet(const net::Bytes& bytes) override {
+  void handle_packet(net::PacketView bytes) override {
     auto datagram = net::decode_datagram(bytes);
     ASSERT_TRUE(datagram.has_value());
     if (auto* segment = std::get_if<net::TcpSegment>(&*datagram)) {

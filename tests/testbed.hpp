@@ -32,7 +32,7 @@ class DirectServices final : public scan::SessionServices, public sim::Endpoint 
     handler_ = std::move(handler);
   }
 
-  void handle_packet(const net::Bytes& bytes) override {
+  void handle_packet(net::PacketView bytes) override {
     const auto datagram = net::decode_datagram(bytes);
     if (datagram && handler_) handler_(*datagram);
   }

@@ -368,7 +368,7 @@ struct TlsRig {
       hello = std::move(client_hello);
       send(isn, 0, net::kSyn, true);
     }
-    void handle_packet(const net::Bytes& bytes) override {
+    void handle_packet(net::PacketView bytes) override {
       const auto datagram = net::decode_datagram(bytes);
       if (!datagram) return;
       const auto* segment = std::get_if<net::TcpSegment>(&*datagram);

@@ -103,6 +103,21 @@ const std::vector<BannedCall>& banned_calls() {
        "assert() vanishes under NDEBUG; use IWSCAN_ASSERT/IWSCAN_UNREACHABLE "
        "from util/check.hpp",
        {}},
+      // The malloc family bypasses operator new, which the allocation-
+      // counting perf hook replaces; untracked raw allocations would make
+      // the steady-state allocation budgets lie. alloc_stats.hpp itself is
+      // the hook: its replacement operator new must bottom out in malloc
+      // (not new) so sanitizer interceptors still see every allocation.
+      {"malloc", "raw malloc evades the allocation-counting hook; use new or "
+                 "standard containers", {"src/util/alloc_stats.hpp"}},
+      {"calloc", "raw calloc evades the allocation-counting hook; use new or "
+                 "standard containers", {"src/util/alloc_stats.hpp"}},
+      {"realloc", "raw realloc evades the allocation-counting hook; use "
+                  "standard containers", {"src/util/alloc_stats.hpp"}},
+      {"aligned_alloc", "raw aligned_alloc evades the allocation-counting "
+                        "hook; use aligned operator new", {"src/util/alloc_stats.hpp"}},
+      {"free", "raw free pairs with raw malloc; both are reserved for the "
+               "allocation-counting hook", {"src/util/alloc_stats.hpp"}},
   };
   return calls;
 }

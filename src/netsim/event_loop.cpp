@@ -59,18 +59,20 @@ void EventLoop::cancel(EventId id) {
 
 // Redistribute a higher-level bucket into lower levels. Every live record
 // lands at least one level down (its distance from tick_ is less than this
-// level's window span), so the loop never touches the bucket it iterates.
+// level's window span), but the bucket is swapped into scratch storage
+// first so an insert_record that targets this very bucket can neither
+// invalidate the iteration nor be wiped by the trailing clear.
 void EventLoop::cascade(int level, std::size_t bucket) {
-  std::vector<Record>& records = wheel_[level][bucket];
   occupancy_[level] &= ~(std::uint64_t{1} << bucket);
-  for (const Record& record : records) {
+  cascade_scratch_.swap(wheel_[level][bucket]);  // scratch was empty
+  for (const Record& record : cascade_scratch_) {
     if (stale(record)) {
       --records_;  // cancelled while parked: collected here
       continue;
     }
     insert_record(record);
   }
-  records.clear();
+  cascade_scratch_.clear();
 }
 
 void EventLoop::fire(const Record& record) {
@@ -97,10 +99,16 @@ bool EventLoop::fire_next(SimTime::rep limit) {
           continue;
         }
         if (record.when > limit) {
-          // Pause. Drop the drain state: before the next call, external
-          // code may schedule events into earlier granules, so the next
-          // fire must re-select the earliest bucket from scratch (already
-          // fired records re-skip as stale).
+          // Pause. Physically erase the consumed prefix first: those
+          // records were already subtracted from records_ when they fired
+          // or were skipped as stale, and leaving them in the bucket would
+          // make the next drain (or sweep_stale) subtract them again and
+          // underflow records_. Then drop the drain state: before the next
+          // call, external code may schedule events into earlier granules,
+          // so the next fire must re-select the earliest bucket from
+          // scratch.
+          bucket.erase(bucket.begin(),
+                       bucket.begin() + static_cast<std::ptrdiff_t>(drain_pos_));
           drain_active_ = false;
           return false;
         }
@@ -131,8 +139,28 @@ bool EventLoop::fire_next(SimTime::rep limit) {
       if (occ == 0) continue;
       const std::uint64_t position = tick_ >> (kBucketBits * level);
       const int cursor = static_cast<int>(position & (kBuckets - 1));
-      const int dist = std::countr_zero(std::rotr(occ, cursor));
-      const std::uint64_t window = position + static_cast<std::uint64_t>(dist);
+      std::uint64_t rot = std::rotr(occ, cursor);
+      std::uint64_t dist = static_cast<std::uint64_t>(std::countr_zero(rot));
+      if (dist == 0 && level > 0 &&
+          tick_ != position << (kBucketBits * level)) {
+        // An occupied cursor bucket at level >= 1 is ambiguous. With tick_
+        // exactly at the window's start (a higher-level cascade tied on
+        // cand and jumped here first), its records are genuinely current
+        // and must cascade now — the dist == 0 reading is right. But with
+        // tick_ strictly mid-window, current-window records are impossible
+        // (the scan cascades a bucket at its start before letting tick_
+        // move past it, and mid-window inserts land at lower levels), so
+        // the records sit one full revolution ahead — e.g. tick_ = 1 and
+        // an insert at distance 64^(level+1)-1 granules. Then drop the
+        // cursor bit and rescan: any other occupied bucket at this level
+        // is nearer and must not be shadowed; only when the cursor bucket
+        // is alone is the next window a whole revolution out. Level-0
+        // granules are exact, so dist == 0 there is always due.
+        rot &= rot - 1;
+        dist = rot != 0 ? static_cast<std::uint64_t>(std::countr_zero(rot))
+                        : kBuckets;
+      }
+      const std::uint64_t window = position + dist;
       const std::uint64_t start = window << (kBucketBits * level);
       const std::uint64_t cand = std::max(start, tick_);
       if (cand <= best_tick) {

@@ -100,6 +100,13 @@ class EventLoop {
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
     return events_processed_;
   }
+  /// Physical records held in the wheel/overflow structures (live plus
+  /// lazily-dropped cancelled ones). Test/debug introspection: lets tests
+  /// pin that record accounting never drifts (underflow here would degrade
+  /// every cancel into a full sweep).
+  [[nodiscard]] std::size_t stored_records() const noexcept {
+    return records_;
+  }
 
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffff;
@@ -217,6 +224,7 @@ class EventLoop {
   std::array<std::array<std::vector<Record>, kBuckets>, kLevels> wheel_;
   std::array<std::uint64_t, kLevels> occupancy_{};
   std::vector<Record> overflow_;
+  std::vector<Record> cascade_scratch_;  // empty between cascades
   std::uint64_t tick_ = 0;     // wheel cursor; ≤ tick_of(next fire)
   std::size_t records_ = 0;    // live + stale records held in wheel/overflow
   bool drain_active_ = false;  // a level-0 bucket is sorted and mid-drain

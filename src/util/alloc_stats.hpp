@@ -11,6 +11,11 @@
 // sanitizer interceptors still observe every allocation and the counter
 // works unchanged under ASan/TSan. The counter is atomic because worker
 // threads (exec::ThreadPool) allocate concurrently.
+//
+// Portability: the over-aligned path pairs std::aligned_alloc with
+// std::free, which is C11/POSIX — a Windows port would need
+// _aligned_malloc/_aligned_free instead. Fine for now: this header is
+// test/bench-only and the project targets Linux.
 #pragma once
 
 #include <atomic>
@@ -52,16 +57,25 @@ inline void* counted_alloc_nothrow(std::size_t size,
   return std::aligned_alloc(alignment, rounded == 0 ? alignment : rounded);
 }
 
+// Conforming throwing operator new must give the installed new-handler a
+// chance to reclaim memory and retry; only throw once no handler is set.
+// (Retries re-count the allocation attempt, which only matters under OOM.)
 inline void* counted_alloc(std::size_t size) {
-  void* ptr = counted_alloc_nothrow(size);
-  if (ptr == nullptr) throw std::bad_alloc{};
-  return ptr;
+  for (;;) {
+    if (void* ptr = counted_alloc_nothrow(size)) return ptr;
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc{};
+    handler();
+  }
 }
 
 inline void* counted_alloc(std::size_t size, std::align_val_t align) {
-  void* ptr = counted_alloc_nothrow(size, align);
-  if (ptr == nullptr) throw std::bad_alloc{};
-  return ptr;
+  for (;;) {
+    if (void* ptr = counted_alloc_nothrow(size, align)) return ptr;
+    const std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) throw std::bad_alloc{};
+    handler();
+  }
 }
 
 }  // namespace iwscan::util::alloc_stats::detail

@@ -153,6 +153,84 @@ TEST(EventLoop, PendingEventsExcludesLazilyCancelledEntries) {
   EXPECT_FALSE(loop.step());
 }
 
+TEST(EventLoop, FullRevolutionWheelDistancesFire) {
+  // With the cursor mid-window (tick_ = 1 after firing an event in granule
+  // 1), an event at distance 64^(level+1)-1 granules lands in the bucket
+  // whose index equals the cursor at that level — one full wheel revolution
+  // ahead. The drain must treat that bucket as future, not due now;
+  // mistaking it for due cascaded the bucket into itself and silently lost
+  // the event (run() returned with pending_events() > 0).
+  constexpr std::int64_t kGranuleNs = std::int64_t{1} << 16;
+  constexpr std::int64_t kWrapGranules[] = {
+      64 * 64,            // level 1
+      64 * 64 * 64,       // level 2
+      64 * 64 * 64 * 64,  // level 3
+  };
+  for (const std::int64_t granules : kWrapGranules) {
+    EventLoop loop;
+    int fired = 0;
+    loop.schedule_at(SimTime{kGranuleNs}, [&] { ++fired; });  // tick_ -> 1
+    loop.run();
+    ASSERT_EQ(fired, 1);
+    loop.schedule_at(SimTime{granules * kGranuleNs}, [&] { ++fired; });
+    loop.run();
+    EXPECT_EQ(fired, 2) << "event " << granules << " granules out never fired";
+    EXPECT_EQ(loop.pending_events(), 0u);
+    EXPECT_EQ(loop.now(), SimTime{granules * kGranuleNs});
+  }
+}
+
+TEST(EventLoop, WindowBoundaryCursorBucketCascadesInOrder) {
+  // A higher-level cascade can tie on candidate start and move the wheel
+  // cursor to exactly a lower-level window boundary. The lower level's
+  // cursor bucket then holds genuinely-current records, which must cascade
+  // as due now — mistaking them for a full revolution ahead defers them
+  // behind later events and eventually wedges the loop.
+  constexpr std::int64_t kGranuleNs = std::int64_t{1} << 16;
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(SimTime{8000 * kGranuleNs}, [&] { order.push_back(0); });
+  ASSERT_TRUE(loop.step());  // cursor -> granule 8000
+  // Level 2 (distance 4300), window start = granule 12288.
+  loop.schedule_at(SimTime{12300 * kGranuleNs}, [&] { order.push_back(2); });
+  // Level 1 (distance 3700); fires next, leaving the cursor mid level-1
+  // window at granule 11700.
+  loop.schedule_at(SimTime{11700 * kGranuleNs}, [&] { order.push_back(1); });
+  ASSERT_TRUE(loop.step());
+  // Level 1, bucket 0 — the level-1 window also starting at granule 12288.
+  // The level-2 cascade ties on start 12288 and jumps the cursor there
+  // first; this record's bucket then reads as the level-1 cursor bucket.
+  loop.schedule_at(SimTime{12325 * kGranuleNs}, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(loop.now(), SimTime{12325 * kGranuleNs});
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoop, MidGranulePauseKeepsRecordAccountingExact) {
+  // run_until with a deadline inside a granule pauses a bucket drain
+  // mid-way. Records consumed before the pause are already subtracted from
+  // the physical-record count; if they stay in the bucket, the next drain
+  // subtracts them again and the count underflows (wrapping size_t), which
+  // degrades every later cancel into a full stale-sweep.
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(SimTime{1000}, [&] { ++fired; });  // all in granule 0
+  loop.schedule_at(SimTime{2000}, [&] { ++fired; });
+  loop.schedule_at(SimTime{3000}, [&] { ++fired; });
+  loop.run_until(SimTime{1500});  // fires the first, pauses mid-bucket
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.pending_events(), 2u);
+  EXPECT_EQ(loop.stored_records(), 2u);  // consumed prefix physically erased
+  loop.run_until(SimTime{2500});  // pause again after the second event
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.stored_records(), 1u);
+  loop.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(loop.stored_records(), 0u);  // underflow would read huge here
+  EXPECT_TRUE(loop.empty());
+}
+
 TEST(EventLoop, FarFutureEventsFireInScheduleOrder) {
   // Beyond the wheel horizon events wait in an overflow list; they must
   // still fire in (when, schedule-order) order once the loop reaches them.

@@ -11,6 +11,19 @@ set(IWSCAN_SANITIZE "" CACHE STRING
 option(IWSCAN_CLANG_TIDY "Run clang-tidy (repo .clang-tidy) on every compiled TU" OFF)
 option(IWSCAN_LIBFUZZER
        "Build tests/fuzz drivers as libFuzzer targets (requires Clang)" OFF)
+option(IWSCAN_COVERAGE
+       "Instrument for line coverage (gcov/llvm-cov; see tools/coverage)" OFF)
+
+if(IWSCAN_COVERAGE)
+  if(IWSCAN_SANITIZE)
+    message(FATAL_ERROR "IWSCAN_COVERAGE cannot be combined with IWSCAN_SANITIZE")
+  endif()
+  # -O0 keeps line tables honest (no lines folded away by the optimizer);
+  # the coverage lane measures, it does not benchmark.
+  add_compile_options(--coverage -O0 -g)
+  add_link_options(--coverage)
+  message(STATUS "iwscan: coverage instrumentation enabled")
+endif()
 
 if(IWSCAN_SANITIZE)
   if(IWSCAN_SANITIZE MATCHES "thread" AND IWSCAN_SANITIZE MATCHES "address")

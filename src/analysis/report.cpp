@@ -71,6 +71,24 @@ void append_few_data(std::ostringstream& out, std::string_view tag,
   out << render_table(table, markdown) << '\n';
 }
 
+void append_anomalies(std::ostringstream& out, std::string_view tag,
+                      std::span<const core::HostScanRecord> records,
+                      bool markdown) {
+  std::map<core::ProbeAnomaly, std::uint64_t> counts;
+  for (const auto& record : records) {
+    if (record.anomaly != core::ProbeAnomaly::None) ++counts[record.anomaly];
+  }
+  if (counts.empty()) return;
+  std::uint64_t total = 0;
+  for (const auto& [anomaly, count] : counts) total += count;
+  out << tag << " anomalous stacks (" << util::format_count(total) << " hosts):\n";
+  TextTable table({"anomaly", "hosts"});
+  for (const auto& [anomaly, count] : counts) {
+    table.add_row({std::string(to_string(anomaly)), util::format_count(count)});
+  }
+  out << render_table(table, markdown) << '\n';
+}
+
 void append_per_service(std::ostringstream& out, const ScanInputs& inputs,
                         bool markdown) {
   ServiceClassifier classifier(*inputs.registry, inputs.rdns);
@@ -146,6 +164,14 @@ std::string render_report(const ScanInputs& inputs, const ReportOptions& options
     out << h2 << "Hosts with insufficient data" << h2_end << "\n\n";
     if (!inputs.http.empty()) append_few_data(out, "HTTP", inputs.http, options.markdown);
     if (!inputs.tls.empty()) append_few_data(out, "TLS", inputs.tls, options.markdown);
+  }
+
+  if (options.include_anomalies) {
+    out << h2 << "Anomalous stacks" << h2_end << "\n\n";
+    if (!inputs.http.empty()) {
+      append_anomalies(out, "HTTP", inputs.http, options.markdown);
+    }
+    if (!inputs.tls.empty()) append_anomalies(out, "TLS", inputs.tls, options.markdown);
   }
 
   if (options.include_per_service && inputs.registry != nullptr) {

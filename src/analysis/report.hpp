@@ -18,6 +18,10 @@ struct ReportOptions {
   bool markdown = false;              // tables as Markdown instead of text
   bool include_per_service = true;
   bool include_few_data = true;
+  /// Per-class counts of hostile-stack pathologies (DESIGN.md §11) — the
+  /// §5 "anomalous stacks" section; off by default so pre-existing report
+  /// snapshots are unchanged.
+  bool include_anomalies = false;
 };
 
 struct ScanInputs {

@@ -14,6 +14,7 @@ ScanOutput run_iw_scan(sim::Network& network, model::InternetModel& internet,
   job.sample_fraction = options.sample_fraction;
   job.scan_seed = options.scan_seed;
   job.max_outstanding = options.max_outstanding;
+  job.budget = options.budget;
   job.allow = options.popular_space ? internet.registry().popular_space()
                                     : internet.registry().scan_space();
   job.block = options.blocklist;

@@ -18,6 +18,7 @@ struct ScanOptions {
   double sample_fraction = 1.0;       // §4.1: 0.01 = the "1% is enough" mode
   std::uint64_t scan_seed = 7;
   std::size_t max_outstanding = 20'000;
+  scan::SessionBudget budget;         // per-session graceful-degradation caps
   bool popular_space = false;         // Alexa-style scan (Fig. 4)
   std::vector<net::Cidr> blocklist;   // never probed (ZMap ethics model)
   core::IwScanConfig probe;           // port is derived from protocol

@@ -38,8 +38,22 @@ void IwEstimator::on_datagram(const net::Datagram& datagram) {
   }
 
   if (segment->tcp.has(net::kRst)) {
+    if (phase_ != Phase::SynSent && max_end_ > 0) {
+      // The response had started flowing; a reset now is an injected abort
+      // (middlebox or hostile daemon), not a closed port.
+      observation_.anomaly = ProbeAnomaly::MidStreamRst;
+    }
     conclude(phase_ == Phase::SynSent ? ConnOutcome::Refused : ConnOutcome::Error);
     return;
+  }
+
+  if (segment->tcp.has(net::kAck)) {
+    const std::uint64_t acked = tcp::seq_diff(segment->tcp.ack, isn_ + 1);
+    if (!request_.empty() && acked <= (std::uint64_t{1} << 31) &&
+        acked >= request_.size()) {
+      request_acked_ = true;  // the peer consumed our request
+    }
+    if (segment->tcp.window == 0) observation_.zero_window_seen = true;
   }
 
   switch (phase_) {
@@ -83,6 +97,7 @@ void IwEstimator::on_collect_data(const net::TcpSegment& segment) {
   if (segment.payload.empty() && !has_fin) return;  // bare ACK of our request
 
   if (!segment.payload.empty()) {
+    note_payload(segment.payload.size());
     const std::uint64_t start = tcp::seq_diff(segment.tcp.seq, data_base_);
     // Sequences "before" the first data byte would wrap to huge offsets;
     // treat anything implausibly far out as noise.
@@ -98,6 +113,18 @@ void IwEstimator::on_collect_data(const net::TcpSegment& segment) {
       }
       return;  // duplicate of a later segment; ignore
     }
+    if (overlaps(start, end)) {
+      // Intersects recorded data without being a pure duplicate or a
+      // gap-fill: a well-behaved stack retransmits on exact segment
+      // boundaries, so a straddling range is a shrinking/overlapping
+      // retransmitter rewriting stream history.
+      observation_.overlap_seen = true;
+    }
+    const sim::SimTime now = services_.loop().now();
+    if (last_data_at_ != sim::SimTime::min() && now - last_data_at_ >= sim::msec(400)) {
+      ++trickle_gaps_;  // slowloris evidence: fresh data after a long gap
+    }
+    last_data_at_ = now;
     record_range(start, end, segment.payload);
   }
 
@@ -116,6 +143,7 @@ void IwEstimator::on_collect_data(const net::TcpSegment& segment) {
 
 void IwEstimator::on_verify_data(const net::TcpSegment& segment) {
   if (!segment.payload.empty()) {
+    note_payload(segment.payload.size());
     const std::uint64_t start = tcp::seq_diff(segment.tcp.seq, data_base_);
     if (start <= (std::uint64_t{1} << 31)) {
       const std::uint64_t end = start + segment.payload.size();
@@ -174,6 +202,20 @@ bool IwEstimator::covered(std::uint64_t start, std::uint64_t end) const noexcept
   return range_start <= start && end <= range_end;
 }
 
+bool IwEstimator::overlaps(std::uint64_t start, std::uint64_t end) const noexcept {
+  auto it = ranges_.upper_bound(start);
+  if (it != ranges_.begin() && std::prev(it)->second > start) return true;
+  return it != ranges_.end() && it->first < end;
+}
+
+void IwEstimator::note_payload(std::size_t payload_size) {
+  // §3.1 tolerates OS-level clamping of tiny announced MSS values up to the
+  // RFC 1122 default of 536 bytes; anything beyond that floor is a stack
+  // ignoring the option outright.
+  const std::size_t limit = std::max<std::size_t>(config_.announced_mss, 536);
+  if (payload_size > limit) observation_.mss_violation = true;
+}
+
 bool IwEstimator::contiguous_from_zero(std::uint64_t upto) const noexcept {
   if (upto == 0) return true;
   const auto it = ranges_.find(0);
@@ -209,6 +251,15 @@ void IwEstimator::conclude(ConnOutcome outcome) {
   }
 
   observation_.outcome = outcome;
+  if (observation_.anomaly == ProbeAnomaly::None) {
+    if (outcome == ConnOutcome::NoData && observation_.fin_seen) {
+      observation_.anomaly = ProbeAnomaly::EarlyFin;
+    } else if (observation_.overlap_seen) {
+      observation_.anomaly = ProbeAnomaly::ShrinkingRetransmit;
+    } else if (observation_.mss_violation) {
+      observation_.anomaly = ProbeAnomaly::MssViolation;
+    }
+  }
   observation_.span_bytes = max_end_;
   if (observation_.max_segment > 0) {
     // §3.1: "monitor the actually used segment size and use the observed
@@ -275,10 +326,21 @@ void IwEstimator::on_collect_timeout() {
     observation_.loss_holes = ranges_.size() != 1 || !ranges_.contains(0);
     conclude(max_end_ == 0 ? ConnOutcome::NoData : ConnOutcome::FewData);
   } else if (max_end_ == 0) {
+    if (observation_.zero_window_seen) {
+      observation_.anomaly = ProbeAnomaly::ZeroWindow;
+    } else if (!request_acked_) {
+      // Completed the handshake but never consumed our request: a tarpit
+      // holding the connection open to waste scanner state.
+      observation_.anomaly = ProbeAnomaly::Tarpit;
+    }
     conclude(ConnOutcome::NoData);
   } else {
     // Data flowed but no retransmission was ever seen — all retransmits
-    // lost, or a middlebox interfered. No trustworthy estimate.
+    // lost, a middlebox interfered, or the stack simply never retransmits.
+    // No trustworthy estimate either way. Repeated long inter-segment gaps
+    // mark the slowloris variant that drips bytes to stall the collector.
+    observation_.anomaly = trickle_gaps_ >= 2 ? ProbeAnomaly::Slowloris
+                                              : ProbeAnomaly::NoRetransmit;
     conclude(ConnOutcome::Error);
   }
 }

@@ -66,6 +66,8 @@ class IwEstimator {
   void record_range(std::uint64_t start, std::uint64_t end,
                     std::span<const std::uint8_t> payload);
   [[nodiscard]] bool covered(std::uint64_t start, std::uint64_t end) const noexcept;
+  [[nodiscard]] bool overlaps(std::uint64_t start, std::uint64_t end) const noexcept;
+  void note_payload(std::size_t payload_size);
   [[nodiscard]] bool contiguous_from_zero(std::uint64_t upto) const noexcept;
   void enter_verify();
   void conclude(ConnOutcome outcome);
@@ -95,6 +97,14 @@ class IwEstimator {
   std::map<std::uint64_t, net::Bytes> chunks_;     // for prefix reassembly
   std::uint64_t max_end_ = 0;
   std::uint64_t prefix_bytes_stored_ = 0;
+
+  // Hostile-stack evidence (§5 / DESIGN.md §11). `request_acked_`
+  // distinguishes a tarpit (SYN/ACK, then deaf) from a host that accepted
+  // the request but had nothing to say; the trickle counter separates a
+  // slowloris byte-dripper from a sender whose retransmissions were lost.
+  bool request_acked_ = false;
+  std::uint32_t trickle_gaps_ = 0;
+  sim::SimTime last_data_at_ = sim::SimTime::min();
 
   ConnObservation observation_;
   sim::EventId timer_ = sim::kNullEvent;

@@ -78,6 +78,17 @@ void HostProber::on_connection_done(const ConnObservation& observation) {
   }
   first_connection_ = false;
 
+  if (anomaly_ == ProbeAnomaly::None) {
+    anomaly_ = observation.anomaly;
+    if (anomaly_ == ProbeAnomaly::None && config_.protocol == ProbeProtocol::Tls &&
+        !observation.prefix.empty() && observation.prefix[0] == 0x15) {
+      // The reply opened with a TLS alert record instead of a ServerHello:
+      // the handshake was refused at the TLS layer (§3.3 SNI-required
+      // hosts and hostile mid-handshake aborts alike).
+      anomaly_ = ProbeAnomaly::TlsFatalAlert;
+    }
+  }
+
   // Merge this connection into the probe result: Success dominates; among
   // non-success connections keep the largest lower bound.
   const auto better = [](ConnOutcome a, ConnOutcome b) {
@@ -113,6 +124,7 @@ void HostProber::on_connection_done(const ConnObservation& observation) {
   current_probe_has_conn_ = true;
 
   const bool followup = strategy_->wants_followup(observation);
+  if (anomaly_ == ProbeAnomaly::None) anomaly_ = strategy_->anomaly();
   services_.loop().cancel(continuation_);
   continuation_ = services_.loop().schedule(config_.inter_connection_delay, [this, followup] {
     continuation_ = sim::kNullEvent;
@@ -217,6 +229,7 @@ void HostProber::finish_host() {
   record.fin_seen = primary.fin_seen;
   record.reorder_seen = primary.reorder_seen;
   record.loss_suspected = primary.loss_suspected;
+  record.anomaly = anomaly_;
   record.probes_run = static_cast<std::uint8_t>(pass_probes_[0].size() +
                                                 pass_probes_[1].size());
   record.connections_used = connections_used_;
@@ -231,6 +244,27 @@ void HostProber::finish_host() {
   }
 
   finished_ = true;
+  if (on_record_) on_record_(record);
+  finish_();
+}
+
+void HostProber::on_budget_exhausted(scan::BudgetKind kind) {
+  if (finished_) return;
+  // The engine is cutting us off: emit what we know. A wire-level anomaly
+  // already identified (e.g. Slowloris evidence from an earlier probe)
+  // names the pathology better than the generic budget bucket.
+  HostScanRecord record;
+  record.ip = target_;
+  record.outcome = HostOutcome::Error;
+  record.anomaly =
+      anomaly_ != ProbeAnomaly::None ? anomaly_ : ProbeAnomaly::BudgetExceeded;
+  record.probes_run = static_cast<std::uint8_t>(pass_probes_[0].size() +
+                                                pass_probes_[1].size());
+  record.connections_used = connections_used_;
+  (void)kind;
+  finished_ = true;
+  services_.loop().cancel(continuation_);
+  continuation_ = sim::kNullEvent;
   if (on_record_) on_record_(record);
   finish_();
 }

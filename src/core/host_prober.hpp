@@ -51,6 +51,7 @@ class HostProber final : public scan::ProbeSession {
 
   void start() override;
   void on_datagram(const net::Datagram& datagram) override;
+  void on_budget_exhausted(scan::BudgetKind kind) override;
 
  private:
   // Per-probe merged view over its connections.
@@ -101,6 +102,9 @@ class HostProber final : public scan::ProbeSession {
   std::uint8_t connections_used_ = 0;
   bool first_connection_ = true;
   bool finished_ = false;
+  // First anomaly observed across all connections of this host (wire-level
+  // from the estimator, or application-level from the strategy).
+  ProbeAnomaly anomaly_ = ProbeAnomaly::None;
 
   std::unique_ptr<ProbeStrategy> strategy_;
   std::unique_ptr<IwEstimator> estimator_;

@@ -1,5 +1,7 @@
 #include "core/probe_strategy.hpp"
 
+#include <unordered_set>
+
 #include "httpd/http_message.hpp"
 #include "util/bytes.hpp"
 #include "util/strings.hpp"
@@ -10,7 +12,9 @@ namespace {
 class HttpStrategy final : public ProbeStrategy {
  public:
   HttpStrategy(net::IPv4Address target, HttpStrategyConfig config)
-      : config_(std::move(config)), host_(target.to_string()), path_("/") {}
+      : config_(std::move(config)), host_(target.to_string()), path_("/") {
+    visited_.insert(host_ + path_);
+  }
 
   net::Bytes request() override {
     ++connections_;
@@ -33,18 +37,35 @@ class HttpStrategy final : public ProbeStrategy {
     const auto head = http::parse_response_head(util::as_text(observation.prefix));
     if (!head) return false;
 
-    if ((head->status == 301 || head->status == 302 || head->status == 307 ||
-         head->status == 308) &&
-        !followed_redirect_) {
+    if (head->status == 301 || head->status == 302 || head->status == 307 ||
+        head->status == 308) {
       const auto location = head->header("Location");
       if (location) {
         const auto parts = http::parse_location(*location);
         if (parts) {
+          const std::string next_host = parts->host.empty() ? host_ : parts->host;
+          const std::string next_path = parts->path.empty() ? "/" : parts->path;
+          if (visited_.contains(next_host + next_path)) {
+            // The chain revisits a URL it already served: an infinite
+            // redirect loop. Stop here — following it again can only burn
+            // the connection budget.
+            anomaly_ = ProbeAnomaly::RedirectLoop;
+            return false;
+          }
+          if (redirect_hops_ >= config_.max_redirect_hops) {
+            if (redirect_hops_ >= 2) {
+              // A chain still redirecting after several hops is
+              // indistinguishable from a loop at our budget.
+              anomaly_ = ProbeAnomaly::RedirectLoop;
+            }
+            return false;
+          }
           // A valid URI (and possibly a common name for the Host header)
           // extracted from the error response (§3.2).
-          followed_redirect_ = true;
-          if (!parts->host.empty()) host_ = parts->host;
-          path_ = parts->path.empty() ? "/" : parts->path;
+          ++redirect_hops_;
+          host_ = next_host;
+          path_ = next_path;
+          visited_.insert(host_ + path_);
           return true;
         }
       }
@@ -66,6 +87,8 @@ class HttpStrategy final : public ProbeStrategy {
     return false;
   }
 
+  ProbeAnomaly anomaly() const override { return anomaly_; }
+
   std::string_view name() const override { return "http"; }
 
  private:
@@ -73,7 +96,9 @@ class HttpStrategy final : public ProbeStrategy {
   std::string host_;
   std::string path_;
   int connections_ = 0;
-  bool followed_redirect_ = false;
+  int redirect_hops_ = 0;
+  std::unordered_set<std::string> visited_;
+  ProbeAnomaly anomaly_ = ProbeAnomaly::None;
   bool tried_long_uri_ = false;
 };
 

@@ -25,6 +25,11 @@ class ProbeStrategy {
   /// request() reflects the new plan).
   [[nodiscard]] virtual bool wants_followup(const ConnObservation& observation) = 0;
 
+  /// Application-layer pathology observed across this attempt's
+  /// connections (e.g. a 301 redirect loop) — evidence the wire-level
+  /// estimator cannot see. None unless the strategy detected one.
+  [[nodiscard]] virtual ProbeAnomaly anomaly() const { return ProbeAnomaly::None; }
+
   [[nodiscard]] virtual std::string_view name() const = 0;
 };
 
@@ -35,6 +40,9 @@ struct HttpStrategyConfig {
   /// MSS").
   std::size_t long_uri_length = 1300;
   int max_connections = 2;
+  /// Redirect-hop budget (§3.2 follows exactly one). Raising it lets the
+  /// strategy walk longer chains; the visited-URL set still cuts loops.
+  int max_redirect_hops = 1;
 };
 
 /// HTTP probe: GET / with the IP as Host → follow 301 → long-URI fallback.

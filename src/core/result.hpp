@@ -33,6 +33,43 @@ enum class ConnOutcome {
   return "?";
 }
 
+/// Hostile-stack taxonomy (§5 anomalous stacks; DESIGN.md §11). A probe
+/// that trips one of these is still classified into a ConnOutcome — the
+/// anomaly records *why* the exchange degenerated so reports can count
+/// pathologies per class instead of folding them into Timeout/Few-Data.
+enum class ProbeAnomaly : std::uint8_t {
+  None,
+  Tarpit,               // SYN/ACK then total silence; request never ACKed
+  ZeroWindow,           // request ACKed but receive window pinned at zero
+  MssViolation,         // segment larger than the announced MSS
+  NoRetransmit,         // data but no RTO retransmission of the first segment
+  MidStreamRst,         // RST after data had started flowing
+  RedirectLoop,         // 301 chain exceeded the hop budget / revisited a URL
+  Slowloris,            // bytes tricking in with long gaps between segments
+  EarlyFin,             // FIN before any payload byte
+  TlsFatalAlert,        // TLS fatal alert instead of a ServerHello
+  ShrinkingRetransmit,  // partially-overlapping / shrinking retransmissions
+  BudgetExceeded,       // engine killed the session (wall/bytes/segments)
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ProbeAnomaly anomaly) noexcept {
+  switch (anomaly) {
+    case ProbeAnomaly::None: return "none";
+    case ProbeAnomaly::Tarpit: return "tarpit";
+    case ProbeAnomaly::ZeroWindow: return "zero-window";
+    case ProbeAnomaly::MssViolation: return "mss-violation";
+    case ProbeAnomaly::NoRetransmit: return "no-retransmit";
+    case ProbeAnomaly::MidStreamRst: return "mid-stream-rst";
+    case ProbeAnomaly::RedirectLoop: return "redirect-loop";
+    case ProbeAnomaly::Slowloris: return "slowloris";
+    case ProbeAnomaly::EarlyFin: return "early-fin";
+    case ProbeAnomaly::TlsFatalAlert: return "tls-fatal-alert";
+    case ProbeAnomaly::ShrinkingRetransmit: return "shrinking-retransmit";
+    case ProbeAnomaly::BudgetExceeded: return "budget-exceeded";
+  }
+  return "?";
+}
+
 /// Everything one estimation connection observed.
 struct ConnObservation {
   ConnOutcome outcome = ConnOutcome::Unreachable;
@@ -44,6 +81,10 @@ struct ConnObservation {
   bool reorder_seen = false;
   bool loss_holes = false;         // unfilled sequence holes at conclusion
   bool verify_new_data = false;    // data released by the 2·MSS-window ACK
+  ProbeAnomaly anomaly = ProbeAnomaly::None;
+  bool zero_window_seen = false;   // any segment advertised window 0
+  bool mss_violation = false;      // any payload exceeded the announced MSS
+  bool overlap_seen = false;       // partially-overlapping retransmission
   net::Bytes prefix;               // in-order payload prefix (capped)
 };
 
@@ -87,6 +128,7 @@ struct HostScanRecord {
   bool fin_seen = false;
   bool reorder_seen = false;
   bool loss_suspected = false;
+  ProbeAnomaly anomaly = ProbeAnomaly::None;
   std::uint8_t probes_run = 0;
   std::uint8_t connections_used = 0;
 

@@ -49,6 +49,7 @@ scan::EngineConfig engine_config_for(const ScanJob& job, double rate_pps,
   config.rate_pps = rate_pps;
   config.max_outstanding = max_outstanding;
   config.seed = job.scan_seed;
+  config.budget = job.budget;
   return config;
 }
 

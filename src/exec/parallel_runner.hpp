@@ -38,6 +38,7 @@ struct ScanJob {
   double sample_fraction = 1.0;
   std::uint64_t scan_seed = 7;
   std::size_t max_outstanding = 20'000;  // global cap; divided across shards
+  scan::SessionBudget budget;  // per-session ceilings, identical in every shard
   std::vector<net::Cidr> allow;
   std::vector<net::Cidr> block;
   std::uint64_t shards = 1;

@@ -38,7 +38,7 @@ InternetModel::InternetModel(sim::Network& network, ModelConfig config)
 
 InternetModel::~InternetModel() {
   network_.loop().cancel(sweep_event_);
-  for (const auto& [ip, host] : hosts_) {
+  for (const auto& [ip, entry] : hosts_) {
     network_.detach(ip);
     network_.clear_path(ip);
   }
@@ -53,19 +53,31 @@ sim::Endpoint* InternetModel::resolve(net::IPv4Address ip) {
   const GroundTruth gt = truth(ip);
   if (!gt.present) return nullptr;  // dark space: probes just time out
 
-  auto host = build_host(ip, gt);
-  tcp::TcpHost* raw = host.get();
+  HostEntry entry;
+  if (gt.adversary) {
+    AdversarialHost adv = make_adversarial_host(
+        network_, ip, *gt.adversary, util::mix64(config_.seed ^ 0xad4eULL, ip.value()));
+    entry.endpoint = std::move(adv.endpoint);
+    entry.quiescent = std::move(adv.quiescent);
+  } else {
+    auto host = build_host(ip, gt);
+    tcp::TcpHost* raw = host.get();
+    entry.endpoint = std::move(host);
+    entry.quiescent = [raw] { return raw->quiescent(); };
+  }
+  sim::Endpoint* raw = entry.endpoint.get();
 
   sim::PathConfig path = network_.default_path();
   path.latency = sim::usec(gt.latency_us);
   path.jitter = config_.jitter;
   path.loss_rate = config_.loss_rate;
   path.reorder_rate = config_.reorder_rate;
+  path.duplicate_rate = config_.duplicate_rate;
   path.path_mtu = gt.path_mtu;
   network_.set_path(ip, path);
 
   network_.attach(ip, raw);
-  hosts_.emplace(ip, std::move(host));
+  hosts_.emplace(ip, std::move(entry));
   ++instantiated_;
   return raw;
 }
@@ -176,7 +188,7 @@ std::unique_ptr<tcp::TcpHost> InternetModel::build_host(net::IPv4Address ip,
 void InternetModel::sweep() {
   sweep_event_ = network_.loop().schedule(config_.sweep_interval, [this] { sweep(); });
   for (auto it = hosts_.begin(); it != hosts_.end();) {
-    if (it->second->quiescent()) {
+    if (it->second.quiescent()) {
       network_.detach(it->first);
       network_.clear_path(it->first);
       it = hosts_.erase(it);

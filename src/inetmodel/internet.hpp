@@ -6,6 +6,7 @@
 // per-scanner state at all.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <unordered_map>
 
@@ -21,8 +22,13 @@ struct ModelConfig {
   std::uint64_t seed = 42;
   double loss_rate = 0.002;  // per-packet, per-direction
   double reorder_rate = 0.003;
+  double duplicate_rate = 0.0;
   sim::SimTime jitter = sim::msec(3);
   sim::SimTime sweep_interval = sim::sec(5);
+  // Hostile-stack overlay: this fraction of present hosts swap their modeled
+  // daemons for a pathology from inetmodel/adversarial.hpp. Drawn from a
+  // dedicated RNG stream, so 0.0 reproduces pre-overlay worlds exactly.
+  double adversarial_fraction = 0.0;
   // Longitudinal drift (the §5 trend-monitoring extension): each epoch,
   // a fraction of legacy-IW Linux hosts upgrades to IW 10 (kernel/distro
   // updates — the mechanism the paper names for the slow IW10 adoption).
@@ -49,7 +55,8 @@ class InternetModel {
   /// Ground truth for any address (pure; does not materialize the host).
   [[nodiscard]] GroundTruth truth(net::IPv4Address ip) const {
     return synthesize_host(registry_, config_.seed, ip,
-                           DriftParams{config_.epoch, config_.upgrade_rate_per_epoch});
+                           DriftParams{config_.epoch, config_.upgrade_rate_per_epoch},
+                           AdversarialParams{config_.adversarial_fraction});
   }
 
   [[nodiscard]] std::size_t live_hosts() const noexcept { return hosts_.size(); }
@@ -58,6 +65,13 @@ class InternetModel {
   }
 
  private:
+  /// A materialized host: modeled TcpHost or adversarial raw endpoint,
+  /// plus the quiescence probe the eviction sweep polls.
+  struct HostEntry {
+    std::unique_ptr<sim::Endpoint> endpoint;
+    std::function<bool()> quiescent;
+  };
+
   sim::Endpoint* resolve(net::IPv4Address ip);
   [[nodiscard]] std::unique_ptr<tcp::TcpHost> build_host(net::IPv4Address ip,
                                                          const GroundTruth& gt);
@@ -66,7 +80,7 @@ class InternetModel {
   sim::Network& network_;
   ModelConfig config_;
   AsRegistry registry_;
-  std::unordered_map<net::IPv4Address, std::unique_ptr<tcp::TcpHost>> hosts_;
+  std::unordered_map<net::IPv4Address, HostEntry> hosts_;
   sim::EventId sweep_event_ = sim::kNullEvent;
   std::uint64_t instantiated_ = 0;
 };

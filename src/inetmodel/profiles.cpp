@@ -90,7 +90,8 @@ int upgrade_epoch(std::uint64_t seed, net::IPv4Address ip, double rate) {
 }  // namespace
 
 GroundTruth synthesize_host(const AsRegistry& registry, std::uint64_t seed,
-                            net::IPv4Address ip, const DriftParams& drift) {
+                            net::IPv4Address ip, const DriftParams& drift,
+                            const AdversarialParams& adversarial) {
   GroundTruth gt;
   const AsInfo* as = registry.find(ip);
   if (as == nullptr) return gt;
@@ -258,6 +259,27 @@ GroundTruth synthesize_host(const AsRegistry& registry, std::uint64_t seed,
 
   gt.path_mtu = draw_path_mtu(rng);
   gt.latency_us = static_cast<std::uint32_t>(rng.between(8'000, 120'000));
+
+  // ---- Adversarial overlay -------------------------------------------------
+  // Dedicated RNG stream: the draw sequence above is untouched, so a world
+  // with fraction == 0 is byte-identical to one synthesized without the
+  // overlay at all.
+  if (adversarial.fraction > 0.0) {
+    util::Rng adv_rng(util::mix64(seed ^ 0xadde5ULL, ip.value()));
+    if (adv_rng.chance(adversarial.fraction)) {
+      AdversarialBehavior candidates[kAdversarialBehaviorCount];
+      int count = 0;
+      for (int i = 0; i < kAdversarialBehaviorCount; ++i) {
+        const auto behavior = static_cast<AdversarialBehavior>(i);
+        // App-layer pathologies need the matching port open; wire-level
+        // ones replace whatever daemons the host would have run.
+        if (behavior == AdversarialBehavior::RedirectLoop && !gt.http) continue;
+        if (behavior == AdversarialBehavior::TlsFatalAlert && !gt.tls) continue;
+        candidates[count++] = behavior;
+      }
+      gt.adversary = candidates[adv_rng.between(0, count - 1)];
+    }
+  }
   return gt;
 }
 

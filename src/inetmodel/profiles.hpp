@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "inetmodel/adversarial.hpp"
 #include "inetmodel/as_registry.hpp"
 #include "netbase/ipv4.hpp"
 #include "tcpstack/config.hpp"
@@ -39,6 +40,10 @@ struct GroundTruth {
   std::uint32_t path_mtu = 1500;
   std::uint32_t latency_us = 40'000;  // one-way, microseconds
 
+  // Hostile-stack overlay: when set, the modeled daemons above are replaced
+  // by the named pathology (see inetmodel/adversarial.hpp).
+  std::optional<AdversarialBehavior> adversary;
+
   /// True IW in segments for a protocol, under an announced MSS, given the
   /// host's OS clamping — the value a perfect estimator should measure.
   [[nodiscard]] std::uint32_t true_iw_segments(bool for_tls,
@@ -51,11 +56,19 @@ struct DriftParams {
   double upgrade_rate_per_epoch = 0.06;  // legacy-Linux → IW10 per epoch
 };
 
-/// Synthesize the ground truth for one address. Pure in (seed, ip, drift);
-/// upgrades are monotone in the epoch (a host never downgrades).
+/// Adversarial overlay parameters: `fraction` of present hosts swap their
+/// modeled daemons for a hostile behavior. Drawn from a dedicated RNG
+/// stream, so fraction == 0 worlds are byte-identical to pre-overlay ones.
+struct AdversarialParams {
+  double fraction = 0.0;
+};
+
+/// Synthesize the ground truth for one address. Pure in (seed, ip, drift,
+/// adversarial); upgrades are monotone in the epoch (a host never downgrades).
 [[nodiscard]] GroundTruth synthesize_host(const AsRegistry& registry,
                                           std::uint64_t seed, net::IPv4Address ip,
-                                          const DriftParams& drift = {});
+                                          const DriftParams& drift = {},
+                                          const AdversarialParams& adversarial = {});
 
 /// Exact on-wire size of an HTTP response head + body produced by our
 /// httpd for the given parameters (used to hit few-data bound targets).

@@ -55,6 +55,13 @@ class PermutationIterator {
   /// it to recover the exact shards=1 emission order.
   [[nodiscard]] std::uint64_t last_index() const noexcept { return last_index_; }
 
+  /// Re-point at a relocated permutation, keeping the cursor. An owner that
+  /// stores both the permutation and an iterator over it must call this
+  /// after a copy or move (see TargetGenerator's special members).
+  void rebind(const RandomPermutation& permutation) noexcept {
+    permutation_ = &permutation;
+  }
+
   [[nodiscard]] bool exhausted() const noexcept {
     return index_ >= permutation_->domain_size();
   }

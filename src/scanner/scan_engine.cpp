@@ -25,6 +25,9 @@ ScanEngine::ScanEngine(sim::Network& network, EngineConfig config,
 ScanEngine::~ScanEngine() {
   network_.loop().cancel(pace_event_);
   network_.loop().cancel(reap_event_);
+  for (auto& [target, state] : sessions_) {
+    network_.loop().cancel(state.deadline);
+  }
   if (network_.attached(config_.scanner_address)) {
     network_.detach(config_.scanner_address);
   }
@@ -75,21 +78,48 @@ void ScanEngine::launch_next_target() {
   if (launch_observer_) launch_observer_(*target, targets_.last_cycle_index());
   auto session = module_.create_session(*this, *target,
                                         [this, t = *target] { finish_session(t); });
-  auto [it, inserted] = sessions_.emplace(*target, std::move(session));
+  auto [it, inserted] = sessions_.emplace(*target, SessionState{std::move(session)});
   if (!inserted) {
     // Duplicate target (overlapping allowlist); replace and run anyway.
-    it->second = module_.create_session(*this, *target,
-                                        [this, t = *target] { finish_session(t); });
+    network_.loop().cancel(it->second.deadline);
+    it->second = SessionState{module_.create_session(
+        *this, *target, [this, t = *target] { finish_session(t); })};
   }
-  it->second->start();
+  arm_deadline(it->second, *target);
+  it->second.session->start();
+}
+
+void ScanEngine::arm_deadline(SessionState& state, net::IPv4Address target) {
+  if (config_.budget.wall_time == sim::SimTime::zero()) return;
+  state.deadline = network_.loop().schedule(
+      config_.budget.wall_time,
+      [this, target] { abort_session(target, BudgetKind::WallTime); });
+}
+
+void ScanEngine::abort_session(net::IPv4Address target, BudgetKind kind) {
+  const auto it = sessions_.find(target);
+  if (it == sessions_.end()) return;
+  network_.loop().cancel(it->second.deadline);
+  it->second.deadline = sim::kNullEvent;
+  switch (kind) {
+    case BudgetKind::WallTime: ++stats_.sessions_killed_wall; break;
+    case BudgetKind::RxBytes: ++stats_.sessions_killed_bytes; break;
+    case BudgetKind::RxPackets: ++stats_.sessions_killed_packets; break;
+  }
+  // Give the session a chance to emit a best-effort record; `it` is dead
+  // after this call (the session usually finishes itself, mutating the
+  // map). Force-finish if it declined, so budget kills can never leak.
+  it->second.session->on_budget_exhausted(kind);
+  if (sessions_.contains(target)) finish_session(target);
 }
 
 void ScanEngine::finish_session(net::IPv4Address target) {
   auto node = sessions_.extract(target);
   if (node.empty()) return;
+  network_.loop().cancel(node.mapped().deadline);
   draws_.erase(target);
   // The session is likely on the call stack; free it on the next tick.
-  graveyard_.push_back(std::move(node.mapped()));
+  graveyard_.push_back(std::move(node.mapped().session));
   if (reap_event_ == sim::kNullEvent) {
     reap_event_ = network_.loop().schedule(sim::SimTime::zero(), [this] {
       reap_event_ = sim::kNullEvent;
@@ -120,7 +150,18 @@ void ScanEngine::handle_packet(net::PacketView bytes) {
     ++stats_.stray_packets;
     return;
   }
-  it->second->on_datagram(*datagram);
+  SessionState& state = it->second;
+  state.rx_packets += 1;
+  state.rx_bytes += bytes.size();
+  if (config_.budget.rx_packets != 0 && state.rx_packets > config_.budget.rx_packets) {
+    abort_session(source, BudgetKind::RxPackets);
+    return;
+  }
+  if (config_.budget.rx_bytes != 0 && state.rx_bytes > config_.budget.rx_bytes) {
+    abort_session(source, BudgetKind::RxBytes);
+    return;
+  }
+  state.session->on_datagram(*datagram);
 }
 
 void ScanEngine::send_packet(net::Bytes bytes) {

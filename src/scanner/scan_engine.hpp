@@ -70,6 +70,18 @@ class SessionServices {
   }
 };
 
+/// Which per-session budget expired (see SessionBudget).
+enum class BudgetKind { WallTime, RxBytes, RxPackets };
+
+[[nodiscard]] constexpr std::string_view to_string(BudgetKind kind) noexcept {
+  switch (kind) {
+    case BudgetKind::WallTime: return "wall-time";
+    case BudgetKind::RxBytes: return "rx-bytes";
+    case BudgetKind::RxPackets: return "rx-packets";
+  }
+  return "?";
+}
+
 /// One in-flight target conversation. Created by a ProbeModule; must call
 /// ScanEngine-provided `finish` (passed at creation) exactly once.
 class ProbeSession {
@@ -79,6 +91,12 @@ class ProbeSession {
   virtual void start() = 0;
   /// A datagram from this session's target arrived.
   virtual void on_datagram(const net::Datagram& datagram) = 0;
+  /// The engine's per-session budget expired (graceful degradation against
+  /// tarpits / slowloris / amplifiers). The session may emit a best-effort
+  /// record and invoke its finish callback; if it does not, the engine
+  /// force-finishes it right after this returns. No packets are delivered
+  /// to the session afterwards.
+  virtual void on_budget_exhausted(BudgetKind kind) { (void)kind; }
 };
 
 /// Factory + result sink for a scan type (SYN scan, ICMP MTU, IW probe…).
@@ -93,11 +111,23 @@ class ProbeModule {
       std::function<void()> finish) = 0;
 };
 
+/// Hard per-session ceilings: no single hostile host (tarpit, slowloris,
+/// redirect amplifier) may hold scanner state or bandwidth indefinitely.
+/// Defaults sit far above any well-behaved probe sequence (worst case is
+/// ~160 s of virtual time and a few hundred packets), so they only ever
+/// fire on pathological peers. Zero disables the corresponding limit.
+struct SessionBudget {
+  sim::SimTime wall_time = sim::sec(240);          // SimTime::zero() = unlimited
+  std::uint64_t rx_bytes = 4 * 1024 * 1024;
+  std::uint64_t rx_packets = 4096;
+};
+
 struct EngineConfig {
   net::IPv4Address scanner_address{10, 0, 0, 1};
   double rate_pps = 150'000;      // session starts per second (paper: 150 kpps)
   std::size_t max_outstanding = 10'000;
   std::uint64_t seed = 1;
+  SessionBudget budget;
 };
 
 struct EngineStats {
@@ -106,6 +136,10 @@ struct EngineStats {
   std::uint64_t packets_sent = 0;
   std::uint64_t packets_received = 0;
   std::uint64_t stray_packets = 0;  // no matching session
+  // Sessions killed by each SessionBudget limit (graceful degradation).
+  std::uint64_t sessions_killed_wall = 0;
+  std::uint64_t sessions_killed_bytes = 0;
+  std::uint64_t sessions_killed_packets = 0;
   sim::SimTime started_at{};
   sim::SimTime finished_at{};
 
@@ -118,6 +152,9 @@ struct EngineStats {
     packets_sent += other.packets_sent;
     packets_received += other.packets_received;
     stray_packets += other.stray_packets;
+    sessions_killed_wall += other.sessions_killed_wall;
+    sessions_killed_bytes += other.sessions_killed_bytes;
+    sessions_killed_packets += other.sessions_killed_packets;
     started_at = std::min(started_at, other.started_at);
     finished_at = std::max(finished_at, other.finished_at);
     return *this;
@@ -153,6 +190,9 @@ class ScanEngine final : public sim::Endpoint, public SessionServices {
     return started_ && targets_exhausted_ && sessions_.empty();
   }
   [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+  /// Sessions currently holding engine state — the leak-check hook for
+  /// tests: must be 0 once done() holds.
+  [[nodiscard]] std::size_t live_sessions() const noexcept { return sessions_.size(); }
 
   // sim::Endpoint
   void handle_packet(net::PacketView bytes) override;
@@ -182,16 +222,28 @@ class ScanEngine final : public sim::Endpoint, public SessionServices {
   };
   [[nodiscard]] TargetDraws& target_draws(net::IPv4Address target);
 
+  // One live conversation plus its budget accounting. The wall-time
+  // deadline is armed at launch; byte/packet counters are checked in
+  // handle_packet before delivery.
+  struct SessionState {
+    std::unique_ptr<ProbeSession> session;
+    sim::EventId deadline = sim::kNullEvent;
+    std::uint64_t rx_bytes = 0;
+    std::uint64_t rx_packets = 0;
+  };
+
   void pace();
   void launch_next_target();
   void finish_session(net::IPv4Address target);
+  void abort_session(net::IPv4Address target, BudgetKind kind);
+  void arm_deadline(SessionState& state, net::IPv4Address target);
 
   sim::Network& network_;
   EngineConfig config_;
   TargetGenerator targets_;
   ProbeModule& module_;
 
-  std::unordered_map<net::IPv4Address, std::unique_ptr<ProbeSession>> sessions_;
+  std::unordered_map<net::IPv4Address, SessionState> sessions_;
   std::unordered_map<net::IPv4Address, TargetDraws> draws_;
   std::vector<std::unique_ptr<ProbeSession>> graveyard_;
   sim::EventId reap_event_ = sim::kNullEvent;

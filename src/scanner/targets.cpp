@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -87,6 +88,67 @@ TargetGenerator::TargetGenerator(Normalized allow, std::vector<net::Cidr> block,
     running += cidr.size();
     cumulative_.push_back(running);
   }
+}
+
+TargetGenerator::TargetGenerator(const TargetGenerator& other)
+    : allow_(other.allow_),
+      cumulative_(other.cumulative_),
+      block_(other.block_),
+      total_(other.total_),
+      permutation_(other.permutation_),
+      iterator_(other.iterator_),
+      sample_seed_(other.sample_seed_),
+      sample_fraction_(other.sample_fraction_),
+      last_cycle_index_(other.last_cycle_index_),
+      emitted_(other.emitted_),
+      skipped_blocked_(other.skipped_blocked_),
+      skipped_sampled_out_(other.skipped_sampled_out_),
+      merged_overlap_(other.merged_overlap_) {
+  iterator_.rebind(permutation_);
+}
+
+TargetGenerator::TargetGenerator(TargetGenerator&& other) noexcept
+    : allow_(std::move(other.allow_)),
+      cumulative_(std::move(other.cumulative_)),
+      block_(std::move(other.block_)),
+      total_(other.total_),
+      permutation_(other.permutation_),
+      iterator_(other.iterator_),
+      sample_seed_(other.sample_seed_),
+      sample_fraction_(other.sample_fraction_),
+      last_cycle_index_(other.last_cycle_index_),
+      emitted_(other.emitted_),
+      skipped_blocked_(other.skipped_blocked_),
+      skipped_sampled_out_(other.skipped_sampled_out_),
+      merged_overlap_(other.merged_overlap_) {
+  iterator_.rebind(permutation_);
+}
+
+TargetGenerator& TargetGenerator::operator=(const TargetGenerator& other) {
+  if (this != &other) {
+    *this = TargetGenerator(other);
+  }
+  return *this;
+}
+
+TargetGenerator& TargetGenerator::operator=(TargetGenerator&& other) noexcept {
+  if (this != &other) {
+    allow_ = std::move(other.allow_);
+    cumulative_ = std::move(other.cumulative_);
+    block_ = std::move(other.block_);
+    total_ = other.total_;
+    permutation_ = other.permutation_;
+    iterator_ = other.iterator_;
+    sample_seed_ = other.sample_seed_;
+    sample_fraction_ = other.sample_fraction_;
+    last_cycle_index_ = other.last_cycle_index_;
+    emitted_ = other.emitted_;
+    skipped_blocked_ = other.skipped_blocked_;
+    skipped_sampled_out_ = other.skipped_sampled_out_;
+    merged_overlap_ = other.merged_overlap_;
+    iterator_.rebind(permutation_);
+  }
+  return *this;
 }
 
 net::IPv4Address TargetGenerator::index_to_address(std::uint64_t index) const noexcept {

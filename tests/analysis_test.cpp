@@ -317,6 +317,31 @@ TEST(RenderReport, ContainsAllSections) {
   EXPECT_NE(report.find("IW >= 7"), std::string::npos);
 }
 
+TEST(RenderReport, AnomalySectionIsOptInAndCountsHostileHosts) {
+  std::vector<core::HostScanRecord> http = {
+      make_record(0x0A000001, core::HostOutcome::Success, 10),
+      make_record(0x0A000002, core::HostOutcome::FewData, 0, 0),
+      make_record(0x0A000003, core::HostOutcome::Error, 0),
+  };
+  http[1].anomaly = core::ProbeAnomaly::Tarpit;
+  http[2].anomaly = core::ProbeAnomaly::Slowloris;
+  ScanInputs inputs;
+  inputs.http = http;
+
+  ReportOptions options;
+  options.include_per_service = false;
+  options.dominant_threshold = 0.0;
+  const std::string silent = render_report(inputs, options);
+  EXPECT_EQ(silent.find("Anomalous stacks"), std::string::npos)
+      << "anomaly section must stay off by default";
+
+  options.include_anomalies = true;
+  const std::string report = render_report(inputs, options);
+  EXPECT_NE(report.find("Anomalous stacks"), std::string::npos);
+  EXPECT_NE(report.find("tarpit"), std::string::npos);
+  EXPECT_NE(report.find("slowloris"), std::string::npos);
+}
+
 TEST(RenderReport, MarkdownModeEmitsTables) {
   std::vector<core::HostScanRecord> http = {
       make_record(1, core::HostOutcome::Success, 10)};

@@ -118,6 +118,52 @@ TEST(Estimator, ExactFitIsClassifiedFewData) {
   EXPECT_EQ(obs.iw_estimate, 4u);
 }
 
+TEST(Estimator, OneByteOverExactFitFlipsToSuccess) {
+  // The Success / FewData boundary at exactly IW segments: a response one
+  // byte larger than IW×MSS leaves data pending behind the burst, so the
+  // verify ACK releases new data and the classification flips to Success
+  // with the exact IW — the knife-edge complement of ExactFitIsClassifiedFewData.
+  Testbed bed;
+  const net::IPv4Address host{10, 0, 0, 7};
+  tcp::StackConfig stack = stack_with_iw(4);
+  http::WebConfig web;
+  web.root = http::RootBehavior::Page;
+  const std::size_t overhead =
+      model::http_response_overhead("Apache", 200, 257, true);
+  web.page_size = 257 - overhead;  // total response = 4 × 64 + 1 bytes
+  bed.add_http_host(host, stack, web);
+
+  const auto obs = bed.estimate(host, 80, estimator_config(),
+                                Testbed::http_get(host));
+  EXPECT_EQ(obs.outcome, core::ConnOutcome::Success);
+  EXPECT_TRUE(obs.verify_new_data);
+  EXPECT_EQ(obs.iw_estimate, 4u);
+}
+
+TEST(Estimator, MssViolationInflatesBytesPastIwTimesMss) {
+  // A host ignoring the announced 64 B MSS and sending 1000 B segments:
+  // the burst spans far more bytes than iw_estimate × announced MSS would
+  // allow, the oversized segments are flagged, and the segment-counted IW
+  // still comes out right.
+  Testbed bed;
+  const net::IPv4Address host{10, 0, 0, 8};
+  model::AdversarialHost adv = model::make_adversarial_host(
+      bed.network(), host, model::AdversarialBehavior::MssViolator, 1);
+  bed.network().attach(host, adv.endpoint.get());
+
+  const auto obs = bed.estimate(host, 80, estimator_config(64),
+                                Testbed::http_get(host));
+  bed.network().detach(host);
+
+  EXPECT_EQ(obs.outcome, core::ConnOutcome::Success);
+  EXPECT_TRUE(obs.mss_violation);
+  EXPECT_EQ(obs.anomaly, core::ProbeAnomaly::MssViolation);
+  EXPECT_EQ(obs.max_segment, 1000u);
+  EXPECT_EQ(obs.iw_estimate, 4u);
+  // The byte span dwarfs what IW × announced-MSS accounting predicts.
+  EXPECT_GT(obs.span_bytes, std::uint64_t{obs.iw_estimate} * 64);
+}
+
 TEST(Estimator, NoDataHost) {
   Testbed bed;
   const net::IPv4Address host{10, 0, 0, 6};

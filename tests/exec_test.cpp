@@ -14,6 +14,7 @@
 #include "exec/shard_plan.hpp"
 #include "exec/thread_pool.hpp"
 #include "inetmodel/internet.hpp"
+#include "testbed.hpp"
 
 namespace iwscan::exec {
 namespace {
@@ -219,6 +220,76 @@ TEST(ParallelScanRunner, ShardedScanIsByteIdenticalToSingleShard) {
     EXPECT_EQ(sharded.engine.packets_received, baseline.engine.packets_received);
     EXPECT_EQ(sharded.engine.stray_packets, baseline.engine.stray_packets);
     EXPECT_EQ(sharded.address_space, baseline.address_space);
+  }
+}
+
+TEST(ParallelScanRunner, ImpairedPathsKeepShardedByteIdentity) {
+  // Per-flow impairment RNGs are keyed by (network seed, flow), so loss,
+  // reordering and duplication replay identically in every shard's world —
+  // the identity must survive a meaningfully lossy Internet.
+  auto run = [](std::uint64_t shards) {
+    sim::EventLoop loop;
+    sim::Network network(loop, 123);
+    model::ModelConfig config;
+    config.scale_log2 = 12;
+    config.loss_rate = 0.02;
+    config.reorder_rate = 0.01;
+    config.duplicate_rate = 0.005;
+    model::InternetModel internet(network, config);
+    internet.install();
+    analysis::ScanOptions options;
+    options.rate_pps = 40'000;
+    options.scan_seed = test::env_scan_seed(7);
+    options.shards = shards;
+    return analysis::run_iw_scan(network, internet, options);
+  };
+  const analysis::ScanOutput baseline = run(1);
+  ASSERT_FALSE(baseline.records.empty());
+  for (const std::uint64_t shards : {2u, 4u}) {
+    const analysis::ScanOutput sharded = run(shards);
+    ASSERT_EQ(sharded.records.size(), baseline.records.size()) << shards;
+    for (std::size_t i = 0; i < baseline.records.size(); ++i) {
+      ASSERT_TRUE(sharded.records[i] == baseline.records[i])
+          << "record " << i << " diverges at shards=" << shards << " (ip "
+          << baseline.records[i].ip.to_string() << ")";
+    }
+  }
+}
+
+TEST(ParallelScanRunner, AdversarialHostsKeepShardedByteIdentity) {
+  // Hostile stacks (tarpits, slowloris, RST injectors…) respond only to
+  // their own flow's clock, so mixing them in must not break the merge.
+  auto run = [](std::uint64_t shards) {
+    sim::EventLoop loop;
+    sim::Network network(loop, 123);
+    model::ModelConfig config;
+    config.scale_log2 = 12;
+    config.adversarial_fraction = 0.15;
+    model::InternetModel internet(network, config);
+    internet.install();
+    analysis::ScanOptions options;
+    options.rate_pps = 40'000;
+    options.scan_seed = test::env_scan_seed(7);
+    options.shards = shards;
+    return analysis::run_iw_scan(network, internet, options);
+  };
+  const analysis::ScanOutput baseline = run(1);
+  ASSERT_FALSE(baseline.records.empty());
+  bool anomaly_seen = false;
+  for (const core::HostScanRecord& record : baseline.records) {
+    if (record.anomaly != core::ProbeAnomaly::None) anomaly_seen = true;
+  }
+  EXPECT_TRUE(anomaly_seen);  // the mix actually contains hostile hosts
+  for (const std::uint64_t shards : {2u, 4u}) {
+    const analysis::ScanOutput sharded = run(shards);
+    ASSERT_EQ(sharded.records.size(), baseline.records.size()) << shards;
+    for (std::size_t i = 0; i < baseline.records.size(); ++i) {
+      ASSERT_TRUE(sharded.records[i] == baseline.records[i])
+          << "record " << i << " diverges at shards=" << shards << " (ip "
+          << baseline.records[i].ip.to_string() << ")";
+    }
+    EXPECT_EQ(sharded.engine.sessions_killed_wall,
+              baseline.engine.sessions_killed_wall);
   }
 }
 

@@ -129,6 +129,35 @@ TEST(TargetGenerator, DifferentSeedsDifferentOrder) {
   EXPECT_LT(same_position, 20);
 }
 
+TEST(TargetGenerator, CopiesAndMovesKeepEmittingTheSameSequence) {
+  // Regression: iterator_ points at the generator's own permutation_, so a
+  // memberwise copy/move left it aimed at the source object — a dangling
+  // read once a temporary source died (ASan stack-use-after-scope via
+  // ScanEngine's by-value TargetGenerator parameter).
+  const std::vector<net::Cidr> space = {*net::Cidr::parse("10.0.0.0/23")};
+  TargetGenerator reference(space, {}, 17);
+  for (int i = 0; i < 5; ++i) (void)reference.next();
+
+  TargetGenerator copied(reference);
+  TargetGenerator move_source(space, {}, 17);
+  for (int i = 0; i < 5; ++i) (void)move_source.next();
+  TargetGenerator moved(std::move(move_source));
+  TargetGenerator copy_assigned(space, {}, 99);
+  copy_assigned = reference;
+  TargetGenerator move_assigned(space, {}, 99);
+  move_assigned = TargetGenerator(copied);
+
+  while (const auto addr = reference.next()) {
+    EXPECT_EQ(*copied.next(), *addr);
+    EXPECT_EQ(*moved.next(), *addr);
+    EXPECT_EQ(*copy_assigned.next(), *addr);
+    EXPECT_EQ(*move_assigned.next(), *addr);
+  }
+  EXPECT_FALSE(copied.next().has_value());
+  EXPECT_EQ(copied.emitted(), reference.emitted());
+  EXPECT_EQ(copied.last_cycle_index(), reference.last_cycle_index());
+}
+
 TEST(TargetGenerator, ShardedScansPartition) {
   const std::vector<net::Cidr> space = {*net::Cidr::parse("10.0.0.0/22")};
   std::set<net::IPv4Address> all;

@@ -3,6 +3,7 @@
 // ground-truth IWs are known and packet traces are inspected.
 #pragma once
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -10,10 +11,12 @@
 #include "core/estimator.hpp"
 #include "core/host_prober.hpp"
 #include "httpd/http_server.hpp"
+#include "inetmodel/adversarial.hpp"
 #include "inetmodel/profiles.hpp"
 #include "netsim/network.hpp"
 #include "tcpstack/host.hpp"
 #include "tls/tls_server.hpp"
+#include "util/strings.hpp"
 
 namespace iwscan::test {
 
@@ -132,5 +135,94 @@ class Testbed {
   DirectServices services_;
   std::vector<std::unique_ptr<tcp::TcpHost>> hosts_;
 };
+
+// ---------------------------------------------------------------------------
+// Scenario DSL: one hostile host vs. the full scan engine (not the bare
+// prober) so every run also exercises demux, pacing, budgets and teardown.
+// Each scenario is pure data — the battery in adversarial_test.cpp is a
+// table of these.
+// ---------------------------------------------------------------------------
+
+/// One adversarial-internet scenario: the hostile behavior to install, how
+/// to probe it, and what the scan is expected to conclude.
+struct Scenario {
+  std::string_view name;
+  model::AdversarialBehavior behavior{};
+  core::ProbeProtocol protocol = core::ProbeProtocol::Http;
+  core::HostOutcome expect_outcome{};
+  core::ProbeAnomaly expect_anomaly{};
+  scan::SessionBudget budget{};  // engine defaults unless overridden
+  int max_redirect_hops = 1;     // probe-side redirect budget
+  int max_connections = 2;
+  /// Virtual-time ceiling for the whole run — generous; the real guarantee
+  /// under test is that the engine finishes on its own well before this.
+  sim::SimTime deadline = sim::sec(900);
+};
+
+struct ScenarioResult {
+  core::HostScanRecord record;
+  scan::EngineStats stats;
+  std::size_t live_sessions = 0;  // engine sessions alive after the run
+  sim::SimTime elapsed{};         // virtual time from start() to done()
+  bool completed = false;         // done() reached before the deadline
+};
+
+/// Run one scenario to completion on a fresh single-host world. The target
+/// allowlist is a /32, so exactly one record is produced.
+inline ScenarioResult run_scenario(const Scenario& scenario,
+                                   std::uint64_t scan_seed = 7) {
+  const net::IPv4Address target{10, 66, 0, 1};
+
+  sim::EventLoop loop;
+  sim::Network network(loop, 1);
+  sim::PathConfig path;
+  path.latency = sim::msec(10);
+  network.set_default_path(path);
+
+  model::AdversarialHost host =
+      model::make_adversarial_host(network, target, scenario.behavior, 0xfeed);
+  network.attach(target, host.endpoint.get());
+
+  core::IwScanConfig probe;
+  probe.protocol = scenario.protocol;
+  probe.port = scenario.protocol == core::ProbeProtocol::Http ? 80 : 443;
+  probe.http.max_redirect_hops = scenario.max_redirect_hops;
+  probe.http.max_connections = scenario.max_connections;
+
+  ScenarioResult result;
+  core::IwProbeModule module(
+      probe, [&](const core::HostScanRecord& r) { result.record = r; });
+
+  scan::EngineConfig config;
+  config.scanner_address = kScannerIp;
+  config.rate_pps = 1000;
+  config.max_outstanding = 16;
+  config.seed = scan_seed;
+  config.budget = scenario.budget;
+
+  scan::ScanEngine engine(network, config,
+                          scan::TargetGenerator({net::Cidr{target, 32}}, {},
+                                                scan_seed, 1.0),
+                          module);
+  const sim::SimTime start = loop.now();
+  engine.start();
+  while (!engine.done() && loop.now() - start < scenario.deadline && loop.step()) {
+  }
+  result.completed = engine.done();
+  result.elapsed = loop.now() - start;
+  result.stats = engine.stats();
+  result.live_sessions = engine.live_sessions();
+  network.detach(target);
+  return result;
+}
+
+/// Scan seed for seed-sweep CI lanes: IWSCAN_SCAN_SEED overrides the
+/// default, so the same binaries can be replayed under several seeds.
+inline std::uint64_t env_scan_seed(std::uint64_t fallback = 7) {
+  const char* raw = std::getenv("IWSCAN_SCAN_SEED");
+  if (raw == nullptr) return fallback;
+  const auto parsed = util::parse_u64(raw);
+  return parsed ? *parsed : fallback;
+}
 
 }  // namespace iwscan::test

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "netbase/ipv4.hpp"
+#include "util/annotations.hpp"
 
 namespace iwscan::net {
 
@@ -15,7 +16,7 @@ class ChecksumAccumulator {
   /// with a zero byte, per RFC 1071). Word-at-a-time: reads 8 bytes per
   /// load and folds, ~an order of magnitude faster than the byte loop on
   /// MTU-sized frames.
-  void add(std::span<const std::uint8_t> bytes) noexcept;
+  IWSCAN_HOT void add(std::span<const std::uint8_t> bytes) noexcept;
   /// Reference byte-pair implementation of add(). Kept as the oracle for
   /// the word-wise kernel's property tests; produces an identical running
   /// sum as far as finish() can observe.

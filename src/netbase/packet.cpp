@@ -7,6 +7,8 @@ namespace iwscan::net {
 void encode_into(const TcpSegment& segment, Bytes& out) {
   out.clear();
   const std::size_t tcp_len = segment.tcp.encoded_size() + segment.payload.size();
+  // iwlint: allow(hot-path) -- reserve on a pooled buffer reusing its
+  // capacity; a no-op in steady state (pinned by alloc_budget_test)
   out.reserve(Ipv4Header::kSize + tcp_len);
   WireWriter writer(out);
 
@@ -30,6 +32,8 @@ void encode_into(const IcmpDatagram& datagram, Bytes& out) {
   // message encodes straight into the output — no staging vector.
   constexpr std::size_t kIcmpHeaderSize = 8;
   const std::size_t icmp_len = kIcmpHeaderSize + datagram.icmp.payload.size();
+  // iwlint: allow(hot-path) -- reserve on a pooled buffer reusing its
+  // capacity; a no-op in steady state (pinned by alloc_budget_test)
   out.reserve(Ipv4Header::kSize + icmp_len);
   WireWriter writer(out);
   Ipv4Header ip = datagram.ip;
@@ -72,6 +76,8 @@ std::optional<Datagram> decode_datagram(std::span<const std::uint8_t> bytes) {
     segment.ip = *ip;
     segment.tcp = std::move(*tcp);
     const auto payload = l4.subspan(data_offset);
+    // iwlint: allow(hot-path) -- rx payload copy out of the borrowed fabric
+    // buffer; counted by the runtime allocs-per-packet budget
     segment.payload.assign(payload.begin(), payload.end());
     return Datagram{std::move(segment)};
   }

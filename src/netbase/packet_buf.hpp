@@ -161,6 +161,8 @@ class BufferPool {
     if (block != nullptr) {
       core_->free_head = block->next_free;
     } else {
+      // iwlint: allow(hot-path) -- pool-miss path: the free list serves every
+      // steady-state acquire; growth stops at the scan's high-water mark
       block = new detail::PacketBlock;
       block->core = core_;
     }

@@ -93,22 +93,30 @@ std::optional<std::vector<TcpOption>> decode_tcp_options(
       case kMss: {
         if (length != 4) return std::nullopt;
         const auto mss = static_cast<std::uint16_t>((payload[0] << 8) | payload[1]);
+        // iwlint: allow(hot-path) -- a segment decodes to at most a few
+        // options; counted by the runtime allocs-per-packet budget
         options.push_back(MssOption{mss});
         break;
       }
       case kWindowScale: {
         if (length != 3) return std::nullopt;
+        // iwlint: allow(hot-path) -- a segment decodes to at most a few
+        // options; counted by the runtime allocs-per-packet budget
         options.push_back(WindowScaleOption{payload[0]});
         break;
       }
       case kSackPermitted: {
         if (length != 2) return std::nullopt;
+        // iwlint: allow(hot-path) -- a segment decodes to at most a few
+        // options; counted by the runtime allocs-per-packet budget
         options.push_back(SackPermittedOption{});
         break;
       }
       // iwlint: allow(wire-enum-default) -- unknown option kinds must
       // round-trip as UnknownOption so foreign stacks stay representable (§3.1)
       default:
+        // iwlint: allow(hot-path) -- a segment decodes to at most a few
+        // options; counted by the runtime allocs-per-packet budget
         options.push_back(UnknownOption{kind, Bytes(payload.begin(), payload.end())});
         break;
     }

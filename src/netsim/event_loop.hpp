@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/annotations.hpp"
 #include "util/inline_fn.hpp"
 
 namespace iwscan::sim {
@@ -71,6 +72,8 @@ class EventLoop {
     if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
       s.fn = std::forward<F>(fn);
     } else {
+      // iwlint: allow(hot-path) -- InlineFn::emplace constructs the callable
+      // in the slot's inline storage; not container growth
       s.fn.emplace(std::forward<F>(fn));
     }
     s.seq = next_seq_++;
@@ -84,14 +87,14 @@ class EventLoop {
   void cancel(EventId id);
 
   /// Run a single event. Returns false if the queue is empty.
-  bool step();
+  IWSCAN_HOT bool step();
 
   /// Run events with time ≤ deadline; advances now() to deadline if the
   /// queue drains earlier.
-  void run_until(SimTime deadline);
+  IWSCAN_HOT void run_until(SimTime deadline);
 
   /// Run until the queue is empty.
-  void run();
+  IWSCAN_HOT void run();
 
   [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
   /// Live (scheduled, not cancelled, not yet fired) events. Lazily-dropped
@@ -195,11 +198,15 @@ class EventLoop {
     for (int level = 0; level < kLevels; ++level) {
       if (distance < std::uint64_t{1} << (kBucketBits * (level + 1))) {
         const std::size_t bucket = (t >> (kBucketBits * level)) & (kBuckets - 1);
+        // iwlint: allow(hot-path) -- append into a recycled bucket vector;
+        // capacity is reused across wheel revolutions (alloc_budget_test)
         wheel_[level][bucket].push_back(record);
         occupancy_[level] |= std::uint64_t{1} << bucket;
         return;
       }
     }
+    // iwlint: allow(hot-path) -- overflow list holds only events scheduled
+    // beyond the wheel horizon (~18 virtual minutes); rare and re-bucketed
     overflow_.push_back(record);
   }
   void insert_into_drain(const Record& record);

@@ -16,6 +16,8 @@ util::Rng& Network::flow_rng(net::IPv4Address src, net::IPv4Address dst) {
       (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
   auto it = flow_rngs_.find(key);
   if (it == flow_rngs_.end()) {
+    // iwlint: allow(hot-path) -- one insert per flow, on its first packet
+    // only; the map is pre-sized via reserve_endpoints before a scan
     it = flow_rngs_.emplace(key, util::Rng(util::mix64(seed_, key))).first;
   }
   return it->second;
@@ -127,6 +129,8 @@ void Network::send_frag_needed(net::IPv4Address original_src,
   reply.icmp.seq_or_mtu = static_cast<std::uint16_t>(next_hop_mtu);
   // RFC 792: original IP header + first 8 payload bytes.
   const std::size_t quote = std::min<std::size_t>(original.size(), 28);
+  // iwlint: allow(hot-path) -- ICMP error path (Fragmentation Needed), not
+  // steady-state forwarding; quotes at most 28 bytes of the original
   reply.icmp.payload.assign(original.begin(),
                             original.begin() + static_cast<std::ptrdiff_t>(quote));
 

@@ -16,6 +16,7 @@
 #include "netbase/packet.hpp"
 #include "netbase/packet_buf.hpp"
 #include "netsim/event_loop.hpp"
+#include "util/annotations.hpp"
 #include "util/rng.hpp"
 
 namespace iwscan::sim {
@@ -26,8 +27,11 @@ class Endpoint {
   virtual ~Endpoint() = default;
   /// Called when a datagram addressed to this endpoint is delivered. The
   /// view borrows the fabric's pooled buffer for the duration of the call;
-  /// endpoints that keep packet bytes must copy them.
-  virtual void handle_packet(net::PacketView bytes) = 0;
+  /// endpoints that keep packet bytes must copy them. Marked as a hot-path
+  /// boundary: the fabric's IWSCAN_HOT traversal stops at this virtual
+  /// hand-off; receivers that are themselves datapath (ScanEngine) carry
+  /// their own IWSCAN_HOT on the override.
+  IWSCAN_HOT_BOUNDARY virtual void handle_packet(net::PacketView bytes) = 0;
 };
 
 /// Impairment model for one path (scanner ↔ host).
@@ -116,7 +120,7 @@ class Network {
   /// path object, so loss is symmetric per host as on one Internet path).
   /// The buffer should come from this fabric's pool(); duplication and the
   /// delivery hop then share it by handle instead of copying bytes.
-  void send(net::PacketBuf packet);
+  IWSCAN_HOT void send(net::PacketBuf packet);
 
   /// Compatibility overload for callers that still build owned byte
   /// vectors; the vector is adopted into the pool.
@@ -134,7 +138,8 @@ class Network {
  private:
   [[nodiscard]] const PathConfig& path_for(net::IPv4Address remote) const;
   [[nodiscard]] util::Rng& flow_rng(net::IPv4Address src, net::IPv4Address dst);
-  void deliver(SimTime delay, net::IPv4Address destination, net::PacketBuf packet);
+  IWSCAN_HOT void deliver(SimTime delay, net::IPv4Address destination,
+                          net::PacketBuf packet);
   void send_frag_needed(net::IPv4Address original_src, net::IPv4Address original_dst,
                         std::uint32_t next_hop_mtu, net::PacketView original);
 

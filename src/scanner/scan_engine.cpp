@@ -119,6 +119,8 @@ void ScanEngine::finish_session(net::IPv4Address target) {
   network_.loop().cancel(node.mapped().deadline);
   draws_.erase(target);
   // The session is likely on the call stack; free it on the next tick.
+  // iwlint: allow(hot-path) -- once-per-session teardown, not per-packet;
+  // graveyard capacity is reused across reap ticks
   graveyard_.push_back(std::move(node.mapped().session));
   if (reap_event_ == sim::kNullEvent) {
     reap_event_ = network_.loop().schedule(sim::SimTime::zero(), [this] {

@@ -17,6 +17,7 @@
 #include "netbase/packet.hpp"
 #include "netsim/network.hpp"
 #include "scanner/targets.hpp"
+#include "util/annotations.hpp"
 #include "util/rng.hpp"
 
 namespace iwscan::scan {
@@ -89,8 +90,10 @@ class ProbeSession {
   virtual ~ProbeSession() = default;
   /// Send the first probe packet(s).
   virtual void start() = 0;
-  /// A datagram from this session's target arrived.
-  virtual void on_datagram(const net::Datagram& datagram) = 0;
+  /// A datagram from this session's target arrived. Hot-path boundary: the
+  /// engine's rx traversal stops at this hand-off into probe-module logic;
+  /// sessions own their (budgeted, per-conversation) allocation behavior.
+  IWSCAN_HOT_BOUNDARY virtual void on_datagram(const net::Datagram& datagram) = 0;
   /// The engine's per-session budget expired (graceful degradation against
   /// tarpits / slowloris / amplifiers). The session may emit a best-effort
   /// record and invoke its finish callback; if it does not, the engine
@@ -195,7 +198,7 @@ class ScanEngine final : public sim::Endpoint, public SessionServices {
   [[nodiscard]] std::size_t live_sessions() const noexcept { return sessions_.size(); }
 
   // sim::Endpoint
-  void handle_packet(net::PacketView bytes) override;
+  IWSCAN_HOT void handle_packet(net::PacketView bytes) override;
 
   // SessionServices
   using SessionServices::send_packet;  // keep the encode conveniences visible

@@ -201,6 +201,8 @@ void TcpConnection::handle_payload(const net::TcpSegment& segment) {
 
 void TcpConnection::send(std::span<const std::uint8_t> data) {
   if (state_ == TcpState::Closed || fin_pending_) return;
+  // iwlint: allow(hot-path) -- per-connection send buffer reusing its
+  // capacity across segments; bounded by the app's response size
   buffer_.insert(buffer_.end(), data.begin(), data.end());
   // Inside segment processing, transmission is deferred until the app
   // callback returns — so a send()+close() pair lets the FIN piggyback on
@@ -283,6 +285,8 @@ void TcpConnection::emit_segment(std::uint32_t seq,
   segment.tcp.ack = (flags & net::kAck) ? rcv_nxt_ : 0;
   segment.tcp.flags = flags;
   segment.tcp.window = config_.advertised_window;
+  // iwlint: allow(hot-path) -- staged segment payload copy; counted by the
+  // runtime allocs-per-packet budget (alloc_budget_test)
   segment.payload.assign(payload.begin(), payload.end());
   ++stats_.segments_sent;
   if (retransmission) ++stats_.segments_retransmitted;
@@ -305,6 +309,8 @@ void TcpConnection::send_syn_ack() {
   segment.tcp.ack = rcv_nxt_;
   segment.tcp.flags = net::kSyn | net::kAck;
   segment.tcp.window = config_.advertised_window;
+  // iwlint: allow(hot-path) -- one MSS option per SYN-ACK; connection setup,
+  // not steady-state transfer
   segment.tcp.options.push_back(net::MssOption{config_.own_mss_limit});
   ++stats_.segments_sent;
   send_fn_(std::move(segment));

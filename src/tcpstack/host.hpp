@@ -10,6 +10,7 @@
 
 #include "netsim/network.hpp"
 #include "tcpstack/connection.hpp"
+#include "util/annotations.hpp"
 
 namespace iwscan::tcp {
 
@@ -68,7 +69,7 @@ class TcpHost : public sim::Endpoint {
   void on_tcp(const net::TcpSegment& segment);
   void on_icmp(const net::IcmpDatagram& datagram);
   void send_reset_for(const net::TcpSegment& offending);
-  void transmit(net::TcpSegment&& segment);
+  IWSCAN_HOT void transmit(net::TcpSegment&& segment);
   void reap_graveyard();
 
   sim::Network& network_;

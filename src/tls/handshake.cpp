@@ -115,6 +115,8 @@ std::optional<ClientHello> ClientHello::decode(std::span<const std::uint8_t> bod
 
   const std::uint8_t session_len = reader.u8();
   const auto session = reader.raw(session_len);
+  // iwlint: allow(hot-path) -- TLS parsing runs per probe conversation, not
+  // per fabric packet; reached only via the over-approximate decode edge
   hello.session_id.assign(session.begin(), session.end());
 
   const std::uint16_t cipher_bytes = reader.u16();
@@ -122,11 +124,15 @@ std::optional<ClientHello> ClientHello::decode(std::span<const std::uint8_t> bod
   if (cipher_bytes > reader.remaining()) return std::nullopt;
   hello.cipher_suites.clear();
   for (std::size_t i = 0; i < cipher_bytes / 2u; ++i) {
+    // iwlint: allow(hot-path) -- per-conversation handshake decode; a hello
+    // carries at most a few dozen suites
     hello.cipher_suites.push_back(reader.u16());
   }
 
   const std::uint8_t compression_len = reader.u8();
   const auto compressions = reader.raw(compression_len);
+  // iwlint: allow(hot-path) -- per-conversation handshake decode; the
+  // compression list is a handful of bytes
   hello.compression_methods.assign(compressions.begin(), compressions.end());
   if (!reader.ok()) return std::nullopt;
 
@@ -188,6 +194,8 @@ std::optional<ServerHello> ServerHello::decode(std::span<const std::uint8_t> bod
   std::copy(random.begin(), random.end(), hello.random.begin());
   const std::uint8_t session_len = reader.u8();
   const auto session = reader.raw(session_len);
+  // iwlint: allow(hot-path) -- TLS parsing runs per probe conversation, not
+  // per fabric packet; reached only via the over-approximate decode edge
   hello.session_id.assign(session.begin(), session.end());
   hello.cipher_suite = reader.u16();
   hello.compression_method = reader.u8();
@@ -238,6 +246,8 @@ std::optional<CertificateChain> CertificateChain::decode(
     const std::uint32_t cert_len = reader.u24();
     if (!reader.ok() || cert_len > reader.remaining()) return std::nullopt;
     const auto cert = reader.raw(cert_len);
+    // iwlint: allow(hot-path) -- certificate chains are copied once per
+    // handshake; probe sessions cap them via the rx-byte budget
     chain.certificates.emplace_back(cert.begin(), cert.end());
   }
   return chain;

@@ -1,0 +1,38 @@
+// Source annotations consumed by iwlint's cross-TU call-graph rules
+// (DESIGN.md §9) and, where the compiler offers a matching attribute, by
+// codegen too.
+//
+//   IWSCAN_HOT           Marks a function as a root of the per-packet
+//                        datapath. iwlint's hot-path rule flags anything
+//                        transitively reachable from a root that allocates,
+//                        grows a container, takes a lock, blocks, throws,
+//                        or touches iostreams. Under GCC/Clang it also
+//                        expands to [[gnu::hot]] so the optimizer keeps
+//                        these functions in the hot text section.
+//
+//   IWSCAN_HOT_BOUNDARY  Marks an audited hand-off point — a virtual
+//                        per-packet entry like Endpoint::handle_packet —
+//                        where the hot-path traversal stops instead of
+//                        flooding into every override. A boundary-named
+//                        function that is itself IWSCAN_HOT is still
+//                        traversed as a root. Boundaries do NOT stop the
+//                        determinism-taint traversal: determinism must
+//                        hold through every layer.
+//
+// Annotate the declaration (in-class) or the definition; iwlint matches
+// them by qualified name. Keep the marker on the same line as, or the line
+// before, the function it annotates.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define IWSCAN_HOT [[gnu::hot]]
+#else
+#define IWSCAN_HOT
+#endif
+
+#define IWSCAN_HOT_BOUNDARY
+
+namespace iwscan::util {
+// The macros above are the whole interface; the namespace exists to satisfy
+// header-hygiene (every src/util header declares iwscan::util).
+}  // namespace iwscan::util

@@ -51,6 +51,8 @@ class InlineFn {
     if constexpr (stored_inline<D>()) {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
     } else {
+      // iwlint: allow(hot-path) -- overflow path for callables larger than
+      // the inline storage; every hot-path callable is sized to stay inline
       ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(fn)));
     }
     ops_ = select_ops<D>();

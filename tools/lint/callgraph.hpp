@@ -1,0 +1,48 @@
+// Cross-TU call-graph layer: the whole-program half of iwlint.
+//
+// Builds a symbol index and call graph over every src/ translation unit —
+// functions, methods, out-of-line definitions, lambdas folded into their
+// enclosing function — then runs two reachability rule families on top:
+//
+//   hot-path          IWSCAN_HOT roots (the PR 4 datapath) must not reach
+//                     allocation, container growth, locks, blocking calls,
+//                     throw, or iostreams. IWSCAN_HOT_BOUNDARY marks the
+//                     audited hand-off points where traversal stops.
+//   determinism-taint wall-clock/entropy sources must not be reachable
+//                     from the scan roots (run_iw_scan, ParallelScanRunner)
+//                     except inside the quarantined sinks src/util/rng.cpp
+//                     and src/util/stopwatch.cpp.
+//
+// The graph is deliberately over-approximate: call edges resolve by the
+// callee's unqualified name, so overload sets, virtual dispatch, and
+// method calls through any object all produce edges. Propagation is a
+// worklist over the (possibly cyclic) graph, so recursion and mutual
+// recursion converge. Known blind spots (documented in DESIGN.md §9):
+// implicit constructor/destructor/operator invocations, calls through
+// function pointers/std::function/InlineFn, and macro bodies (a macro's
+// tokens sit at file scope, outside any function).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "iwlint.hpp"
+#include "tokens.hpp"
+
+namespace iwscan::lint {
+
+/// Size of the program analysis, for --json visibility and the bench guard.
+struct ProgramStats {
+  std::size_t files = 0;       // files fed into the call-graph pass
+  std::size_t functions = 0;   // function definitions indexed
+  std::size_t call_edges = 0;  // resolved (caller, callee-def) edges
+  std::size_t hot_roots = 0;   // IWSCAN_HOT roots found
+  std::size_t taint_roots = 0; // determinism roots found
+};
+
+/// Run the cross-TU rules over `files` (only src/ files participate),
+/// appending raw findings (suppressions are applied by the caller).
+void run_program_rules(const std::vector<SourceFile>& files,
+                       std::vector<Finding>& findings, ProgramStats* stats);
+
+}  // namespace iwscan::lint

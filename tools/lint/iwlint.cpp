@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <array>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <set>
 #include <sstream>
+
+#include "callgraph.hpp"
+#include "tokens.hpp"
 
 namespace iwscan::lint {
 namespace {
@@ -128,216 +132,14 @@ const std::vector<BannedCall>& banned_calls() {
 // util/stopwatch.cpp wraps the wall clock for *benchmark reporting only*
 // (bench/ wall-clock rows); scan logic — including every worker in
 // src/exec/ — stays on virtual time and is deliberately NOT allowlisted.
+// The determinism-taint rule is the cross-TU sharpening of this: inside
+// the allowlisted prefixes it still flags sources that are *reachable
+// from the scan roots* unless they sit in the two quarantine files.
 constexpr std::array<std::string_view, 3> kDeterminismAllowedPrefixes = {
     "src/util/rng.cpp", "src/util/stopwatch.cpp", "src/netsim/"};
 
 constexpr std::array<std::string_view, 3> kBannedClocks = {
     "steady_clock", "system_clock", "high_resolution_clock"};
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-enum class TokKind { Ident, Number, Str, CharLit, Punct };
-
-struct Token {
-  TokKind kind;
-  std::string_view text;
-  int line;
-};
-
-struct IncludeDirective {
-  int line;
-  std::string_view target;
-  bool angled;
-};
-
-struct Comment {
-  int line;  // line the comment starts on
-  std::string_view text;
-};
-
-struct ScanResult {
-  std::vector<Token> tokens;
-  std::vector<IncludeDirective> includes;
-  std::vector<Comment> comments;
-  std::set<int> code_lines;            // lines holding at least one token/directive
-  int first_code_line = 0;             // 0 = file holds no code at all
-  bool first_code_is_pragma_once = false;
-};
-
-bool is_ident_start(char c) {
-  return (std::isalpha(static_cast<unsigned char>(c)) != 0) || c == '_';
-}
-bool is_ident_char(char c) {
-  return (std::isalnum(static_cast<unsigned char>(c)) != 0) || c == '_';
-}
-
-ScanResult tokenize(std::string_view src) {
-  ScanResult out;
-  std::size_t i = 0;
-  int line = 1;
-  bool at_line_start = true;  // only whitespace seen since the last newline
-
-  auto note_code = [&](int at_line) {
-    out.code_lines.insert(at_line);
-    if (out.first_code_line == 0) out.first_code_line = at_line;
-  };
-
-  auto skip_string = [&](char quote) {
-    // i points at the opening quote.
-    ++i;
-    while (i < src.size() && src[i] != quote) {
-      if (src[i] == '\\' && i + 1 < src.size()) ++i;
-      if (src[i] == '\n') ++line;  // unterminated/multiline literal: keep counting
-      ++i;
-    }
-    if (i < src.size()) ++i;  // closing quote
-  };
-
-  while (i < src.size()) {
-    const char c = src[i];
-
-    if (c == '\n') {
-      ++line;
-      at_line_start = true;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-
-    // Comments.
-    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
-      const std::size_t start = i;
-      while (i < src.size() && src[i] != '\n') ++i;
-      out.comments.push_back({line, src.substr(start, i - start)});
-      continue;
-    }
-    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
-      const std::size_t start = i;
-      const int start_line = line;
-      i += 2;
-      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      i = (i + 1 < src.size()) ? i + 2 : src.size();
-      out.comments.push_back({start_line, src.substr(start, i - start)});
-      at_line_start = false;
-      continue;
-    }
-
-    // Preprocessor directives (only at the start of a line).
-    if (c == '#' && at_line_start) {
-      const int dir_line = line;
-      ++i;
-      while (i < src.size() && (src[i] == ' ' || src[i] == '\t')) ++i;
-      std::size_t word_start = i;
-      while (i < src.size() && is_ident_char(src[i])) ++i;
-      const std::string_view word = src.substr(word_start, i - word_start);
-      if (word == "include") {
-        while (i < src.size() && (src[i] == ' ' || src[i] == '\t')) ++i;
-        if (i < src.size() && (src[i] == '"' || src[i] == '<')) {
-          const char close = (src[i] == '<') ? '>' : '"';
-          const bool angled = (src[i] == '<');
-          ++i;
-          const std::size_t target_start = i;
-          while (i < src.size() && src[i] != close && src[i] != '\n') ++i;
-          out.includes.push_back(
-              {dir_line, src.substr(target_start, i - target_start), angled});
-          if (i < src.size() && src[i] == close) ++i;
-        }
-        note_code(dir_line);
-      } else if (word == "pragma") {
-        while (i < src.size() && (src[i] == ' ' || src[i] == '\t')) ++i;
-        word_start = i;
-        while (i < src.size() && is_ident_char(src[i])) ++i;
-        if (out.first_code_line == 0 && src.substr(word_start, i - word_start) == "once") {
-          out.first_code_is_pragma_once = true;
-        }
-        note_code(dir_line);
-      } else {
-        // Other directives (#define, #if, ...): the keyword is consumed and
-        // the body falls through to normal tokenization so banned calls
-        // inside macro bodies are still seen.
-        note_code(dir_line);
-      }
-      at_line_start = false;
-      continue;
-    }
-    at_line_start = false;
-
-    // String / char literals (incl. raw strings via their encoding prefix).
-    if (c == '"') {
-      const std::size_t start = i;
-      skip_string('"');
-      out.tokens.push_back({TokKind::Str, src.substr(start, i - start), line});
-      note_code(line);
-      continue;
-    }
-    if (c == '\'') {
-      const std::size_t start = i;
-      skip_string('\'');
-      out.tokens.push_back({TokKind::CharLit, src.substr(start, i - start), line});
-      note_code(line);
-      continue;
-    }
-
-    if (is_ident_start(c)) {
-      const std::size_t start = i;
-      while (i < src.size() && is_ident_char(src[i])) ++i;
-      const std::string_view word = src.substr(start, i - start);
-      const bool raw_prefix = (word == "R" || word == "u8R" || word == "uR" ||
-                               word == "UR" || word == "LR");
-      if (raw_prefix && i < src.size() && src[i] == '"') {
-        // Raw string: R"delim( ... )delim".
-        ++i;
-        const std::size_t delim_start = i;
-        while (i < src.size() && src[i] != '(') ++i;
-        const std::string terminator =
-            ")" + std::string(src.substr(delim_start, i - delim_start)) + "\"";
-        const std::size_t body = (i < src.size()) ? i + 1 : i;
-        const std::size_t end = src.find(terminator, body);
-        const std::size_t stop =
-            (end == std::string_view::npos) ? src.size() : end + terminator.size();
-        line += static_cast<int>(std::count(src.begin() + static_cast<long>(start),
-                                            src.begin() + static_cast<long>(stop), '\n'));
-        out.tokens.push_back({TokKind::Str, src.substr(start, stop - start), line});
-        i = stop;
-      } else {
-        out.tokens.push_back({TokKind::Ident, word, line});
-      }
-      note_code(line);
-      continue;
-    }
-
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      const std::size_t start = i;
-      while (i < src.size() &&
-             (is_ident_char(src[i]) || src[i] == '.' ||
-              (src[i] == '\'' && i + 1 < src.size() && is_ident_char(src[i + 1])))) {
-        ++i;
-      }
-      out.tokens.push_back({TokKind::Number, src.substr(start, i - start), line});
-      note_code(line);
-      continue;
-    }
-
-    // Punctuation. '::' is one token (qualified names matter to the rules).
-    if (c == ':' && i + 1 < src.size() && src[i + 1] == ':') {
-      out.tokens.push_back({TokKind::Punct, src.substr(i, 2), line});
-      i += 2;
-    } else {
-      out.tokens.push_back({TokKind::Punct, src.substr(i, 1), line});
-      ++i;
-    }
-    note_code(line);
-  }
-  return out;
-}
 
 // ---------------------------------------------------------------------------
 // Suppressions: a comment holding the iwlint marker followed by
@@ -347,6 +149,11 @@ ScanResult tokenize(std::string_view src) {
 struct Suppressions {
   // rule -> set of lines on which findings of that rule are allowed
   std::map<std::string_view, std::set<int>, std::less<>> allowed;
+
+  [[nodiscard]] bool covers(const Finding& finding) const {
+    const auto it = allowed.find(finding.rule);
+    return it != allowed.end() && it->second.count(finding.line) != 0;
+  }
 };
 
 bool is_known_rule(std::string_view name) {
@@ -362,10 +169,33 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
+/// Line ranges of the token-level "statements" in a file, delimited by
+/// ';'/'{'/'}'. A suppression anywhere inside a multi-line statement (a
+/// wrapped call, a condition split across lines) covers the whole span, so
+/// the comment can sit on the readable line instead of whichever line the
+/// rule happens to report.
+std::vector<std::pair<int, int>> statement_spans(const ScanResult& scan) {
+  std::vector<std::pair<int, int>> spans;
+  int start = -1;
+  int end = -1;
+  for (const auto& tok : scan.tokens) {
+    if (start < 0) start = tok.line;
+    end = tok.line;
+    if (tok.kind == TokKind::Punct &&
+        (tok.text == ";" || tok.text == "{" || tok.text == "}")) {
+      spans.emplace_back(start, end);
+      start = -1;
+    }
+  }
+  if (start >= 0) spans.emplace_back(start, end);
+  return spans;
+}
+
 Suppressions collect_suppressions(const ScanResult& scan,
                                   std::vector<Finding>& findings,
                                   std::string_view path) {
   Suppressions out;
+  const std::vector<std::pair<int, int>> spans = statement_spans(scan);
   constexpr std::string_view kMarker = "iwlint: allow(";
   for (const auto& comment : scan.comments) {
     const std::size_t at = comment.text.find(kMarker);
@@ -384,6 +214,14 @@ Suppressions collect_suppressions(const ScanResult& scan,
     if (scan.code_lines.count(comment.line) == 0) {
       const auto next = scan.code_lines.upper_bound(comment.line);
       if (next != scan.code_lines.end()) effective_line = *next;
+    }
+
+    // ... and the full extent of any multi-line statement it lands in.
+    std::set<int> lines = {effective_line};
+    for (const auto& [lo, hi] : spans) {
+      if (lo <= effective_line && effective_line <= hi) {
+        for (int l = lo; l <= hi; ++l) lines.insert(l);
+      }
     }
 
     // The justification is mandatory: "-- <non-empty reason>" after ')'.
@@ -414,7 +252,7 @@ Suppressions collect_suppressions(const ScanResult& scan,
       // string_view outlives this comment's buffer trivially.
       const auto& names = rule_names();
       const auto it = std::find(names.begin(), names.end(), name);
-      out.allowed[*it].insert(effective_line);
+      out.allowed[*it].insert(lines.begin(), lines.end());
     }
   }
   return out;
@@ -449,7 +287,7 @@ FileClass classify(std::string_view path) {
 }
 
 // ---------------------------------------------------------------------------
-// Rules
+// Per-TU rules
 // ---------------------------------------------------------------------------
 
 struct RuleContext {
@@ -718,6 +556,18 @@ void apply_rules(const RuleContext& ctx) {
   rule_determinism(ctx);
 }
 
+bool rule_disabled(const Options& options, std::string_view rule) {
+  return std::find(options.disabled_rules.begin(), options.disabled_rules.end(),
+                   rule) != options.disabled_rules.end();
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+}
+
 std::string json_escape(std::string_view s) {
   std::string out;
   out.reserve(s.size() + 8);
@@ -746,52 +596,163 @@ std::string json_escape(std::string_view s) {
 const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> names = {
       "layering",      "byte-bridge",    "banned-call", "wire-enum-default",
-      "header-hygiene", "determinism",   "suppression",
+      "header-hygiene", "determinism",   "hot-path",    "determinism-taint",
+      "suppression",
   };
   return names;
 }
 
+std::string_view rule_explanation(std::string_view rule) {
+  // One paragraph per rule — the DESIGN.md §9 rationale, verbatim enough
+  // that --explain answers "why is this a finding" without opening the doc.
+  if (rule == "layering") {
+    return "Every project include must follow the module DAG of DESIGN.md §3 "
+           "(util → netbase → netsim → tcpstack → {httpd, tls} → scanner → "
+           "core → inetmodel → exec → analysis). The DAG is what keeps the "
+           "ZMap-style scanner engine swappable and the protocol stacks "
+           "testable in isolation; one convenience include collapses it.";
+  }
+  if (rule == "byte-bridge") {
+    return "reinterpret_cast and C-style pointer casts appear only in "
+           "src/util/bytes.hpp, the single audited byte-to-text crossing. "
+           "Concentrating the casts in one reviewed file is what makes the "
+           "\"no aliasing surprises anywhere else\" claim checkable.";
+  }
+  if (rule == "banned-call") {
+    return "A short list of libc calls is banned tree-wide: memcpy (bypasses "
+           "the byte bridge), sprintf/atoi/strtol (unsafe or errno-based), "
+           "rand/time (break seeded determinism), assert (vanishes under "
+           "NDEBUG; use IWSCAN_ASSERT), and the malloc family (evades the "
+           "allocation-counting operator-new hook).";
+  }
+  if (rule == "wire-enum-default") {
+    return "Switches over registered wire enums (TLS record and handshake "
+           "types, ICMP types, HTTP parser states, TCP option kinds) must "
+           "not carry a default: label. Enumerating every value keeps "
+           "-Wswitch as the registration check: adding a wire value without "
+           "handling it everywhere is a compile error, not a silent "
+           "fall-through.";
+  }
+  if (rule == "header-hygiene") {
+    return "Headers open with #pragma once, file names are lower_snake_case, "
+           "and every src/<module> header declares the module's "
+           "iwscan::<ns> namespace. Mechanical, but it keeps the module "
+           "registry in iwlint authoritative: the namespace is how a reader "
+           "(and the linter) maps a file to its layer.";
+  }
+  if (rule == "determinism") {
+    return "std::random_device, srand, and *_clock::now() are per-TU banned "
+           "outside src/util/rng.cpp, src/util/stopwatch.cpp, and "
+           "src/netsim/. Scans must replay bit-identically from a seed; "
+           "entropy and wall clocks are wrapped once, behind util::Rng and "
+           "the event loop's virtual now().";
+  }
+  if (rule == "hot-path") {
+    return "Cross-TU reachability rule. Functions marked IWSCAN_HOT are the "
+           "roots of the per-packet datapath (event-loop dispatch, fabric "
+           "send/deliver, TCP transmit, scanner rx, checksum folding). "
+           "Nothing transitively reachable from a root may allocate "
+           "(new/make_unique/malloc), grow containers (push_back and "
+           "friends), take locks, block, throw, or touch iostreams — the "
+           "static complement of the runtime allocs-per-packet budget. "
+           "IWSCAN_HOT_BOUNDARY marks audited hand-off points (virtual "
+           "per-packet entry points like Endpoint::handle_packet) where the "
+           "traversal stops; [[noreturn]] failure paths are exempt. Call "
+           "edges resolve by unqualified callee name, deliberately "
+           "over-approximate: overload sets, virtual dispatch, and member "
+           "calls through any object all count. Blind spots: implicit "
+           "constructor/destructor/operator calls, calls through function "
+           "pointers/std::function/util::InlineFn, and macro bodies.";
+  }
+  if (rule == "determinism-taint") {
+    return "Cross-TU reachability rule generalizing 'determinism' from a "
+           "file allowlist to the call graph: no entropy source "
+           "(std::random_device, srand, rand) or wall-clock read "
+           "(*_clock::now, time, clock_gettime, gettimeofday) may be "
+           "reachable from the scan roots — run_iw_scan and "
+           "ParallelScanRunner — except inside the quarantined sinks "
+           "src/util/rng.cpp and src/util/stopwatch.cpp. The per-TU rule "
+           "allowlists all of src/netsim/, so a clock read there passes "
+           "per-TU review; this rule still flags it the moment it becomes "
+           "reachable from a scan, which is exactly the regression that "
+           "would silently break replayable sweeps. Boundaries do not stop "
+           "this traversal: determinism must hold through every layer.";
+  }
+  if (rule == "suppression") {
+    return "Findings are silenced inline with the iwlint marker comment "
+           "followed by 'allow(<rule>) -- <reason>'. The justification is "
+           "mandatory and must be non-empty; an unjustified suppression "
+           "suppresses nothing and is itself a finding, so CI fails on it. "
+           "A trailing comment covers its own line (and the whole statement "
+           "if it spans several lines); a standalone comment covers the "
+           "next code line.";
+  }
+  return {};
+}
+
 std::vector<Finding> lint_source(std::string_view path, std::string_view source,
                                  const Options& options) {
-  const ScanResult scan = tokenize(source);
-  const FileClass file = classify(path);
+  std::vector<SourceFile> one;
+  one.push_back({std::string(path), std::string(source)});
+  // Per-TU only: without the rest of the program the call-graph rules have
+  // no roots to traverse from, so this stays the single-file entry point.
+  Options per_tu = options;
+  per_tu.disabled_rules.emplace_back("hot-path");
+  per_tu.disabled_rules.emplace_back("determinism-taint");
+  return lint_files(one, per_tu, nullptr);
+}
 
-  std::vector<Finding> findings;
-  const Suppressions suppressions = collect_suppressions(scan, findings, path);
-  const RuleContext ctx{path, file, scan, findings};
-  apply_rules(ctx);
-
+std::vector<Finding> lint_files(const std::vector<SourceFile>& files,
+                                const Options& options, ProgramStats* stats) {
   std::vector<Finding> kept;
-  kept.reserve(findings.size());
-  for (auto& finding : findings) {
-    const auto allowed = suppressions.allowed.find(finding.rule);
-    if (allowed != suppressions.allowed.end() &&
-        allowed->second.count(finding.line) != 0) {
-      continue;
+  std::map<std::string_view, Suppressions> suppressions_by_file;
+
+  for (const auto& file : files) {
+    const ScanResult scan = tokenize(file.content);
+    const FileClass fc = classify(file.path);
+
+    std::vector<Finding> findings;
+    Suppressions suppressions = collect_suppressions(scan, findings, file.path);
+    const RuleContext ctx{file.path, fc, scan, findings};
+    apply_rules(ctx);
+
+    for (auto& finding : findings) {
+      if (suppressions.covers(finding)) continue;
+      if (rule_disabled(options, finding.rule)) continue;
+      kept.push_back(std::move(finding));
     }
-    if (std::find(options.disabled_rules.begin(), options.disabled_rules.end(),
-                  finding.rule) != options.disabled_rules.end()) {
-      continue;
-    }
-    kept.push_back(std::move(finding));
+    suppressions_by_file.emplace(file.path, std::move(suppressions));
   }
-  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
-    return std::tie(a.line, a.rule, a.message) < std::tie(b.line, b.rule, b.message);
-  });
+
+  const bool want_program = !rule_disabled(options, "hot-path") ||
+                            !rule_disabled(options, "determinism-taint");
+  if (want_program || stats != nullptr) {
+    std::vector<Finding> program;
+    run_program_rules(files, program, stats);
+    for (auto& finding : program) {
+      if (rule_disabled(options, finding.rule)) continue;
+      const auto it = suppressions_by_file.find(finding.file);
+      if (it != suppressions_by_file.end() && it->second.covers(finding)) continue;
+      kept.push_back(std::move(finding));
+    }
+  }
+
+  sort_findings(kept);
   return kept;
 }
 
 std::vector<Finding> lint_tree(const std::string& root,
                                const std::vector<std::string>& dirs,
                                const Options& options,
-                               std::vector<std::string>* io_errors) {
+                               std::vector<std::string>* io_errors,
+                               ProgramStats* stats) {
   namespace fs = std::filesystem;
-  std::vector<fs::path> files;
+  std::vector<fs::path> paths;
   for (const auto& dir : dirs) {
     const fs::path base = fs::path(root) / dir;
     std::error_code ec;
     if (fs::is_regular_file(base, ec)) {
-      files.push_back(base);
+      paths.push_back(base);
       continue;
     }
     fs::recursive_directory_iterator it(base, ec);
@@ -807,30 +768,28 @@ std::vector<Finding> lint_tree(const std::string& root,
       const std::string rel = entry.path().generic_string();
       // Fixture snippets violate rules on purpose; never lint them in tree mode.
       if (rel.find("tests/lint/fixtures") != std::string::npos) continue;
-      files.push_back(entry.path());
+      paths.push_back(entry.path());
     }
   }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  std::vector<Finding> findings;
-  for (const auto& file : files) {
-    std::ifstream in(file, std::ios::binary);
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const auto& path : paths) {
+    std::ifstream in(path, std::ios::binary);
     if (!in) {
       if (io_errors != nullptr)
-        io_errors->push_back(file.generic_string() + ": cannot open");
+        io_errors->push_back(path.generic_string() + ": cannot open");
       continue;
     }
     std::ostringstream content;
     content << in.rdbuf();
     std::error_code ec;
-    fs::path rel = fs::relative(file, root, ec);
-    const std::string rel_path = (ec ? file : rel).generic_string();
-    auto file_findings = lint_source(rel_path, content.str(), options);
-    findings.insert(findings.end(), std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
+    fs::path rel = fs::relative(path, root, ec);
+    files.push_back({(ec ? path : rel).generic_string(), content.str()});
   }
-  return findings;
+  return lint_files(files, options, stats);
 }
 
 std::string format_text(const Finding& finding) {

@@ -8,10 +8,13 @@
 // suppression comment — the iwlint marker, then "allow(<rule>) -- <reason>",
 // justification mandatory. See DESIGN.md "iwlint rule reference".
 //
-// Self-contained C++20: a small tokenizer + include-graph walker + rule
-// engine. No libclang; the whole tree lints in well under a second.
+// Self-contained C++20: a small tokenizer (tokens.hpp) + include-graph
+// walker + per-TU rule engine, plus a cross-TU call-graph layer
+// (callgraph.hpp) for the hot-path purity and determinism-taint rules.
+// No libclang; the whole tree lints in well under two seconds.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,15 +34,38 @@ struct Options {
   std::vector<std::string> disabled_rules;
 };
 
+/// One translation unit handed to the whole-program entry point. `path`
+/// is repo-relative with forward slashes; only "src/..." files join the
+/// call graph, everything still gets the per-TU rules.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+struct ProgramStats;  // callgraph.hpp
+
 /// All rule identifiers accepted by suppression comments and --disable.
 [[nodiscard]] const std::vector<std::string>& rule_names();
 
-/// Lint one translation unit. `path` must be repo-relative with forward
-/// slashes (e.g. "src/netbase/wire.hpp"); rules key off the path to decide
-/// module membership and allowlists.
+/// One-paragraph rationale for a rule (the DESIGN.md §9 text), or empty
+/// if the name is unknown. Drives the CLI's --explain flag.
+[[nodiscard]] std::string_view rule_explanation(std::string_view rule);
+
+/// Lint one translation unit with the per-TU rules only. `path` must be
+/// repo-relative with forward slashes (e.g. "src/netbase/wire.hpp"); rules
+/// key off the path to decide module membership and allowlists. The
+/// cross-TU rules (hot-path, determinism-taint) need the whole program and
+/// only run under lint_files/lint_tree.
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
                                                std::string_view source,
                                                const Options& options = {});
+
+/// Whole-program lint: per-TU rules on every file plus the cross-TU
+/// call-graph rules over the src/ subset. Findings are sorted by
+/// (file, line, rule, message); inline suppressions apply to both layers.
+[[nodiscard]] std::vector<Finding> lint_files(const std::vector<SourceFile>& files,
+                                              const Options& options = {},
+                                              ProgramStats* stats = nullptr);
 
 /// Recursively lint every .hpp/.cpp under root/<dir> for each dir, sorted
 /// for deterministic output. tests/lint/fixtures is skipped — its snippets
@@ -47,7 +73,8 @@ struct Options {
 [[nodiscard]] std::vector<Finding> lint_tree(const std::string& root,
                                              const std::vector<std::string>& dirs,
                                              const Options& options,
-                                             std::vector<std::string>* io_errors);
+                                             std::vector<std::string>* io_errors,
+                                             ProgramStats* stats = nullptr);
 
 [[nodiscard]] std::string format_text(const Finding& finding);
 [[nodiscard]] std::string format_json(const std::vector<Finding>& findings);

@@ -127,9 +127,12 @@ class WireReader {
     if (require(n)) pos_ += n;
   }
 
- private:
-  // Overflow-safe: pos_ <= data_.size() is an invariant, so the subtraction
-  // cannot wrap, whereas `pos_ + n` could for attacker-derived n.
+  /// The sanctioned bounds guard: true iff `n` more bytes are available.
+  /// Public so parsers can pre-validate an attacker-derived length before
+  /// using it to size containers or slice spans — iwlint's wire-taint rule
+  /// recognizes require() as the sanitizer for exactly that flow.
+  /// Overflow-safe: pos_ <= data_.size() is an invariant, so the
+  /// subtraction cannot wrap, whereas `pos_ + n` could for hostile n.
   bool require(std::size_t n) noexcept {
     if (!ok_ || n > data_.size() - pos_) {
       ok_ = false;
@@ -138,6 +141,7 @@ class WireReader {
     return true;
   }
 
+ private:
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
   bool ok_ = true;

@@ -25,6 +25,10 @@ namespace iwscan::util::alloc_stats {
 
 // Inline variable: one definition shared by every TU that includes this
 // header, written only by the counting operator new below.
+// iwlint: allow(concurrency-confinement) -- the audited exception: a global
+// operator-new hook cannot take a context object, and the counter must be
+// atomic because pool workers allocate concurrently; it is observability
+// only (never feeds scan results) and tests reset via delta snapshots
 inline std::atomic<std::uint64_t> g_allocation_count{0};
 
 /// Global operator-new calls since process start (0 unless one TU of the

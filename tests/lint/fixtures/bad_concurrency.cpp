@@ -1,0 +1,29 @@
+// Fixture: concurrency primitives outside their confinement zones. Threads
+// come only from src/exec/thread_pool.cpp, synchronization primitives live
+// in src/exec/, std::future and friends are banned outright, and mutable
+// namespace-scope state is banned tree-wide. Linted, never compiled.
+#include <future>
+#include <mutex>
+#include <thread>
+
+namespace iwscan::scan {
+
+int g_inflight_probes = 0;
+
+void rogue_thread() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+void rogue_lock() {
+  static std::mutex gate;
+  gate.lock();
+  gate.unlock();
+}
+
+int rogue_handoff(int x) {
+  std::future<int> pending;
+  return x;
+}
+
+}  // namespace iwscan::scan

@@ -1,0 +1,50 @@
+// Fixture: every wire-derived value below reaches a size, index, slice, or
+// patch sink with no bounds guard on the way. Linted, never compiled.
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netbase/wire.hpp"
+
+namespace iwscan::net {
+
+// Tainted resize, direct: the attacker picks the allocation size.
+std::vector<std::uint8_t> grab(WireReader& reader) {
+  std::vector<std::uint8_t> out;
+  const std::uint16_t len = reader.u16();
+  out.resize(len);
+  return out;
+}
+
+// Taint survives an assignment/arithmetic chain into a subscript.
+std::uint8_t pick(std::span<const std::uint8_t> data, WireReader& reader) {
+  const std::uint8_t raw_idx = reader.u8();
+  const std::size_t idx = raw_idx * 2;
+  const std::size_t shifted = idx + 1;
+  return data[shifted];
+}
+
+// Tainted loop bound: the peer controls the iteration count.
+std::uint32_t sum(WireReader& reader) {
+  const std::uint16_t count = reader.u16();
+  std::uint32_t total = 0;
+  for (std::uint16_t i = 0; i < count; ++i) total += reader.u8();
+  return total;
+}
+
+// A decoded header field slices a span.
+std::span<const std::uint8_t> slice(std::span<const std::uint8_t> bytes) {
+  struct Hdr {
+    std::uint16_t total_length;
+  } hdr{};
+  return bytes.subspan(0, hdr.total_length);
+}
+
+// A wire-buffer subscript read feeds a WireWriter patch offset.
+void patch(Bytes& out, std::span<const std::uint8_t> data) {
+  WireWriter writer(out);
+  const std::size_t at = data[0];
+  writer.patch_u16(at, 7);
+}
+
+}  // namespace iwscan::net

@@ -1,0 +1,34 @@
+// Fixture twin: the same primitives inside their confinement zone. This
+// file pretends to live in src/exec/, where synchronization primitives are
+// sanctioned; thread creation itself still belongs to thread_pool.cpp, so
+// none happens here. Linted, never compiled.
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+namespace iwscan::exec {
+
+class WorkGate {
+ public:
+  void close() {
+    std::lock_guard hold(mu_);
+    closed_ = true;
+  }
+  bool closed() {
+    std::lock_guard hold(mu_);
+    return closed_;
+  }
+
+ private:
+  std::mutex mu_;
+  bool closed_ = false;
+};
+
+inline std::uint64_t bump(std::atomic<std::uint64_t>& counter) {
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// A static query, not thread creation: allowed anywhere.
+inline unsigned lanes() { return std::thread::hardware_concurrency(); }
+
+}  // namespace iwscan::exec

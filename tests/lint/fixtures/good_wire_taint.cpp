@@ -1,0 +1,51 @@
+// Fixture twin: the same flows as bad_wire_taint.cpp, each laundered
+// through a sanctioned guard before it sizes, indexes, or slices anything.
+// Also carries the lexer fixtures the tokenizer tests pin: a digit-separated
+// literal and a raw string literal. Linted, never compiled.
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "netbase/wire.hpp"
+
+namespace iwscan::net {
+
+constexpr std::size_t kMaxPayload = 64'000;
+const std::string_view kProbeLine = R"(GET / HTTP/1.1)";
+
+// require() pre-validates the attacker-derived length.
+std::vector<std::uint8_t> grab_guarded(WireReader& reader) {
+  std::vector<std::uint8_t> out;
+  const std::uint16_t len = reader.u16();
+  if (!reader.require(len)) return out;
+  out.resize(len);
+  return out;
+}
+
+// A comparison against the span's size() guards the index.
+std::uint8_t pick_guarded(std::span<const std::uint8_t> data, WireReader& reader) {
+  const std::size_t idx = reader.u8();
+  if (idx >= data.size()) return 0;
+  return data[idx];
+}
+
+// std::min against a named constant clamps before the resize.
+std::vector<std::uint8_t> grab_clamped(WireReader& reader) {
+  std::vector<std::uint8_t> out;
+  const std::size_t len = std::min<std::size_t>(reader.u16(), kMaxPayload);
+  out.resize(len);
+  return out;
+}
+
+// A comparison against a kConstant bound launders the loop count.
+std::uint32_t sum_bounded(WireReader& reader) {
+  const std::uint16_t count = reader.u16();
+  if (count > kMaxPayload) return 0;
+  std::uint32_t total = 0;
+  for (std::uint16_t i = 0; i < count; ++i) total += reader.u8();
+  return total;
+}
+
+}  // namespace iwscan::net

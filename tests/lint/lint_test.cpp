@@ -12,6 +12,7 @@
 
 #include "callgraph.hpp"
 #include "iwlint.hpp"
+#include "tokens.hpp"
 
 namespace {
 
@@ -64,6 +65,11 @@ const std::vector<RuleFixture>& rule_fixtures() {
        "src/netbase/good_header_hygiene.hpp"},
       {"determinism", "bad_determinism.cpp", "src/scanner/bad_determinism.cpp", 3,
        "good_determinism.cpp", "src/scanner/good_determinism.cpp"},
+      {"wire-taint", "bad_wire_taint.cpp", "src/netbase/bad_wire_taint.cpp", 5,
+       "good_wire_taint.cpp", "src/netbase/good_wire_taint.cpp"},
+      {"concurrency-confinement", "bad_concurrency.cpp",
+       "src/scanner/bad_concurrency.cpp", 4, "good_concurrency.cpp",
+       "src/exec/good_concurrency.cpp"},
   };
   return fixtures;
 }
@@ -126,7 +132,8 @@ TEST(IwlintSuppression, JustifiedSuppressionSilencesTrailingAndWholeLine) {
 TEST(IwlintSuppression, UnknownRuleNameIsFlagged) {
   const auto findings = iwscan::lint::lint_source(
       "src/core/x.cpp",
-      "// iwlint: allow(no-such-rule) -- justified but meaningless\nint x;\n");
+      "// iwlint: allow(no-such-rule) -- justified but meaningless\n"
+      "constexpr int x = 0;\n");
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].rule, "suppression");
 }
@@ -460,6 +467,185 @@ TEST(IwlintExplain, EveryRuleHasAnExplanation) {
   EXPECT_NE(std::find(iwscan::lint::rule_names().begin(),
                       iwscan::lint::rule_names().end(), "determinism-taint"),
             iwscan::lint::rule_names().end());
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer fixtures the dataflow rules depend on: raw strings and digit
+// separators must lex as single tokens attributed to their START line, or
+// taint chains and suppression spans drift.
+
+using iwscan::lint::TokKind;
+
+TEST(IwlintTokens, DigitSeparatorsLexAsOneNumber) {
+  const auto scan = iwscan::lint::tokenize("std::size_t x = 64'000;\n");
+  bool found = false;
+  for (const auto& tok : scan.tokens) {
+    if (tok.kind == TokKind::Number) {
+      EXPECT_EQ(tok.text, "64'000");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IwlintTokens, RawStringIsOneTokenAndHidesCommentMarkers) {
+  const auto scan =
+      iwscan::lint::tokenize("auto s = R\"(quote \" and // not a comment)\";\n");
+  EXPECT_TRUE(scan.comments.empty());
+  bool found = false;
+  for (const auto& tok : scan.tokens) {
+    if (tok.kind == TokKind::Str) {
+      EXPECT_NE(tok.text.find("not a comment"), std::string_view::npos);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(IwlintTokens, DelimitedRawStringStopsAtMatchingTerminator) {
+  // The inner `)"` must not end the d-char-delimited literal.
+  const auto scan = iwscan::lint::tokenize(
+      "auto s = R\"x(inner )\" quote)x\";\nint marker_after;\n");
+  bool marker = false;
+  for (const auto& tok : scan.tokens) {
+    if (tok.kind == TokKind::Ident && tok.text == "marker_after") {
+      EXPECT_EQ(tok.line, 2);
+      marker = true;
+    }
+  }
+  EXPECT_TRUE(marker);
+}
+
+TEST(IwlintTokens, MultilineRawStringKeepsStartLineAndCodeLines) {
+  const auto scan = iwscan::lint::tokenize(
+      "auto s = R\"(line one\nline two\nline three)\";\nint after;\n");
+  bool str_found = false;
+  for (const auto& tok : scan.tokens) {
+    if (tok.kind == TokKind::Str) {
+      EXPECT_EQ(tok.line, 1);
+      str_found = true;
+    }
+    if (tok.kind == TokKind::Ident && tok.text == "after") {
+      EXPECT_EQ(tok.line, 4);
+    }
+  }
+  EXPECT_TRUE(str_found);
+  // Every spanned line counts as code so suppression spans don't drift.
+  for (int line = 1; line <= 4; ++line) {
+    EXPECT_EQ(scan.code_lines.count(line), 1u) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// wire-taint dataflow specifics beyond the fixture table: the finding must
+// print the def→use chain, and a justified suppression must silence it.
+
+TEST(IwlintWireTaint, FindingPrintsTheDefUseChain) {
+  const auto findings =
+      lint_fixture("bad_wire_taint.cpp", "src/netbase/bad_wire_taint.cpp");
+  bool chain = false;
+  for (const auto& finding : findings) {
+    if (finding.message.find("raw_idx") != std::string::npos) {
+      EXPECT_NE(finding.message.find("shifted"), std::string::npos);
+      EXPECT_NE(finding.message.find("subscript"), std::string::npos);
+      chain = true;
+    }
+  }
+  EXPECT_TRUE(chain) << "no finding carries the raw_idx -> idx -> shifted chain";
+}
+
+TEST(IwlintWireTaint, JustifiedSuppressionSilencesTheFlow) {
+  const auto findings = iwscan::lint::lint_source(
+      "src/netbase/len.cpp",
+      "namespace iwscan::net {\n"
+      "std::vector<std::uint8_t> grab(WireReader& reader) {\n"
+      "  std::vector<std::uint8_t> out;\n"
+      "  const std::uint16_t len = reader.u16();\n"
+      "  // iwlint: allow(wire-taint) -- fixture: bounded by the caller's framing\n"
+      "  out.resize(len);\n"
+      "  return out;\n"
+      "}\n"
+      "}  // namespace iwscan::net\n");
+  EXPECT_TRUE(findings.empty())
+      << iwscan::lint::format_text(findings.front());
+}
+
+// ---------------------------------------------------------------------------
+// concurrency-confinement specifics beyond the fixture table.
+
+TEST(IwlintConcurrency, ThreadPoolIsTheSanctionedHome) {
+  const std::string content =
+      "namespace iwscan::exec {\n"
+      "void spawn() { std::thread worker([] {}); worker.join(); }\n"
+      "}  // namespace iwscan::exec\n";
+  EXPECT_TRUE(
+      iwscan::lint::lint_source("src/exec/thread_pool.cpp", content).empty());
+  // Even inside src/exec/, thread creation belongs to the pool alone.
+  EXPECT_FALSE(iwscan::lint::lint_source("src/exec/channel.cpp", content).empty());
+}
+
+TEST(IwlintConcurrency, ConstGlobalsAreExemptMutableOnesAreNot) {
+  EXPECT_TRUE(iwscan::lint::lint_source(
+                  "src/core/c.cpp",
+                  "constexpr int kMax = 7;\nconst char* const kName = \"iw\";\n")
+                  .empty());
+  const auto findings =
+      iwscan::lint::lint_source("src/core/c.cpp", "int g_count = 0;\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "concurrency-confinement");
+  EXPECT_NE(findings[0].message.find("g_count"), std::string::npos);
+}
+
+TEST(IwlintConcurrency, SuppressionWithJustificationIsHonored) {
+  // Mirrors the tree's one sanctioned exception (alloc_stats.hpp): one
+  // justified comment covers both the sync-type and mutable-global findings
+  // that anchor to the declaration line.
+  const auto findings = iwscan::lint::lint_source(
+      "src/util/counter.cpp",
+      "// iwlint: allow(concurrency-confinement) -- fixture: audited counter\n"
+      "std::atomic<int> g_count{0};\n");
+  EXPECT_TRUE(findings.empty())
+      << iwscan::lint::format_text(findings.front());
+}
+
+// ---------------------------------------------------------------------------
+// SARIF output and dataflow stats.
+
+TEST(IwlintOutput, SarifFormat) {
+  const Finding finding{"src/a.cpp", 7, "wire-taint", "tainted \"len\""};
+  const std::string sarif = iwscan::lint::format_sarif({finding});
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"wire-taint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+  EXPECT_NE(sarif.find("%SRCROOT%"), std::string::npos);
+  EXPECT_NE(sarif.find("tainted \\\"len\\\""), std::string::npos);
+  // Every rule is described in the driver's rule table, even on a clean run.
+  const std::string empty = iwscan::lint::format_sarif({});
+  for (const auto& rule : iwscan::lint::rule_names()) {
+    EXPECT_NE(empty.find("\"id\": \"" + rule + "\""), std::string::npos) << rule;
+  }
+}
+
+TEST(IwlintProgram, DataflowStatsCountSourcesSinksGuards) {
+  iwscan::lint::ProgramStats stats;
+  const std::vector<SourceFile> program = {
+      {"src/netbase/len.cpp",
+       "namespace iwscan::net {\n"
+       "std::vector<std::uint8_t> grab(WireReader& reader) {\n"
+       "  std::vector<std::uint8_t> out;\n"
+       "  const std::uint16_t len = reader.u16();\n"
+       "  if (!reader.require(len)) return out;\n"
+       "  out.resize(len);\n"
+       "  return out;\n"
+       "}\n"
+       "}  // namespace iwscan::net\n"}};
+  const auto findings = iwscan::lint::lint_files(program, {}, &stats);
+  EXPECT_TRUE(findings.empty())
+      << iwscan::lint::format_text(findings.front());
+  EXPECT_EQ(stats.dataflow.functions, 1u);
+  EXPECT_GE(stats.dataflow.taint_sources, 1u);
+  EXPECT_GE(stats.dataflow.taint_sinks, 1u);
+  EXPECT_GE(stats.dataflow.taint_guards, 1u);
 }
 
 TEST(IwlintTree, WholeRepositoryLintsClean) {

@@ -1,7 +1,6 @@
 #include "callgraph.hpp"
 
 #include <algorithm>
-#include <array>
 #include <deque>
 #include <map>
 #include <set>
@@ -9,559 +8,6 @@
 
 namespace iwscan::lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Fact vocabulary: what a function body can do that the reachability rules
-// care about. Hot-path purity consumes the first six; determinism taint
-// consumes the last two.
-// ---------------------------------------------------------------------------
-
-enum class FactKind {
-  Alloc,      // new / make_unique / make_shared / to_string / malloc family
-  Growth,     // .push_back() and friends — container growth idioms
-  Lock,       // mutex/lock_guard construction, .lock()/.try_lock()
-  Blocking,   // sleep_for / poll / select style blocking calls
-  Throw,      // throw expression
-  Iostream,   // iostream objects, fstream/stringstream, printf family
-  Entropy,    // std::random_device, srand, rand()
-  WallClock,  // *_clock::now(), time(), clock_gettime, gettimeofday
-};
-
-[[nodiscard]] std::string_view fact_label(FactKind kind) {
-  switch (kind) {
-    case FactKind::Alloc: return "heap allocation";
-    case FactKind::Growth: return "container growth";
-    case FactKind::Lock: return "lock acquisition";
-    case FactKind::Blocking: return "blocking call";
-    case FactKind::Throw: return "throw";
-    case FactKind::Iostream: return "stdio/iostream I/O";
-    case FactKind::Entropy: return "entropy source";
-    case FactKind::WallClock: return "wall-clock read";
-  }
-  return "violation";
-}
-
-template <std::size_t N>
-[[nodiscard]] bool in(const std::array<std::string_view, N>& set,
-                      std::string_view text) {
-  return std::find(set.begin(), set.end(), text) != set.end();
-}
-
-constexpr std::array<std::string_view, 8> kAllocCalls = {
-    "make_unique", "make_shared", "to_string", "malloc",
-    "calloc",      "realloc",     "aligned_alloc", "strdup"};
-
-constexpr std::array<std::string_view, 12> kGrowthMethods = {
-    "push_back", "emplace_back", "push_front",       "emplace_front",
-    "insert",    "emplace",      "try_emplace",      "resize",
-    "reserve",   "append",       "insert_or_assign", "assign"};
-
-constexpr std::array<std::string_view, 6> kLockTypes = {
-    "lock_guard", "unique_lock",        "scoped_lock",
-    "shared_lock", "condition_variable", "condition_variable_any"};
-
-constexpr std::array<std::string_view, 9> kBlockingCalls = {
-    "sleep_for", "sleep_until", "usleep", "nanosleep", "poll",
-    "select",    "epoll_wait",  "fsync",  "fdatasync"};
-
-constexpr std::array<std::string_view, 20> kIostreamIdents = {
-    "cout",  "cerr",  "clog",  "wcout",        "wcerr",
-    "ifstream", "ofstream", "fstream", "stringstream", "ostringstream",
-    "istringstream", "printf", "fprintf", "vfprintf", "puts",
-    "fputs", "fputc", "fwrite", "fopen",  "getline"};
-
-constexpr std::array<std::string_view, 3> kBannedClocks = {
-    "steady_clock", "system_clock", "high_resolution_clock"};
-
-constexpr std::array<std::string_view, 4> kWallClockCalls = {
-    "clock_gettime", "gettimeofday", "localtime", "gmtime"};
-
-// Identifiers that precede '(' without being calls, plus type keywords that
-// show up in function-pointer declarators. 'new'/'delete' are here so the
-// replacement operator new in util/alloc_stats.hpp is not indexed as a
-// callable named "new": allocation is reported as a fact at the expression
-// site, and placement new (which never enters operator new) stays silent.
-constexpr std::array<std::string_view, 35> kNotACall = {
-    "if",       "for",        "while",     "switch",     "catch",
-    "return",   "sizeof",     "alignof",   "alignas",    "decltype",
-    "typeid",   "noexcept",   "static_assert", "defined", "delete",
-    "new",      "co_await",   "co_yield",  "co_return",  "requires",
-    "constexpr", "consteval", "constinit", "operator",   "void",
-    "int",      "char",       "bool",      "float",      "double",
-    "auto",     "unsigned",   "signed",    "long",       "short"};
-
-// ---------------------------------------------------------------------------
-// Symbol extraction: one pass over a file's tokens builds the function
-// definitions (with their local facts and call sites) plus the annotation
-// sets. Scope tracking is brace-based: namespaces and classes push named
-// scopes, function bodies push a function scope, and every other '{'
-// (lambdas, control flow) pushes an anonymous block — which is exactly the
-// fold-lambdas-into-their-enclosing-function semantics the rules want.
-// ---------------------------------------------------------------------------
-
-struct Fact {
-  FactKind kind;
-  int line;
-  std::string token;  // what matched, for the message
-};
-
-struct FunctionDef {
-  std::string qualified;  // scope-joined, e.g. "iwscan::sim::Network::send"
-  std::string display;    // short form for chains, e.g. "Network::send"
-  std::string last;       // unqualified name, the call-edge key
-  std::string file;
-  int line = 0;
-  bool hot = false;
-  bool noreturn = false;
-  std::vector<Fact> facts;
-  std::set<std::string> callees;  // unqualified callee names, deduplicated
-};
-
-struct ExtractOut {
-  std::vector<FunctionDef> defs;
-  std::set<std::string> hot_qualified;       // IWSCAN_HOT on declarations
-  std::set<std::string> noreturn_qualified;  // [[noreturn]] on declarations
-  std::set<std::string> boundary_last;       // IWSCAN_HOT_BOUNDARY names
-  std::set<std::string> boundary_qualified;  // ... and qualified forms
-};
-
-class Extractor {
- public:
-  Extractor(std::string_view path, const ScanResult& scan, ExtractOut& out)
-      : path_(path), t_(scan.tokens), out_(out) {}
-
-  void run() {
-    while (i_ < t_.size()) step();
-  }
-
- private:
-  struct Scope {
-    enum class Kind { Namespace, Class, Function, Block };
-    Kind kind;
-    std::string name;  // empty for blocks and anonymous namespaces
-    int open_depth;    // brace depth just after the opening '{'
-    int func = -1;     // defs index for Kind::Function
-  };
-
-  [[nodiscard]] const Token& tok(std::size_t i) const { return t_[i]; }
-  [[nodiscard]] bool is(std::size_t i, std::string_view text) const {
-    return i < t_.size() && t_[i].text == text;
-  }
-  [[nodiscard]] bool ident(std::size_t i) const {
-    return i < t_.size() && t_[i].kind == TokKind::Ident;
-  }
-
-  [[nodiscard]] int current_function() const {
-    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
-      if (it->kind == Scope::Kind::Function) return it->func;
-    }
-    return -1;
-  }
-
-  void reset_pending() {
-    pending_hot_ = false;
-    pending_boundary_ = false;
-    pending_noreturn_ = false;
-  }
-
-  void open_block() {
-    ++depth_;
-    scopes_.push_back({Scope::Kind::Block, "", depth_, -1});
-  }
-
-  void close_brace() {
-    --depth_;
-    if (!scopes_.empty() && scopes_.back().open_depth == depth_ + 1) {
-      scopes_.pop_back();
-    }
-    reset_pending();
-  }
-
-  /// Index just past the matching closer, or t_.size() if unbalanced.
-  [[nodiscard]] std::size_t skip_balanced(std::size_t open, std::string_view o,
-                                          std::string_view c) const {
-    int d = 0;
-    for (std::size_t j = open; j < t_.size(); ++j) {
-      if (t_[j].text == o) ++d;
-      if (t_[j].text == c && --d == 0) return j + 1;
-    }
-    return t_.size();
-  }
-
-  [[nodiscard]] std::string scope_prefix() const {
-    std::string joined;
-    for (const auto& scope : scopes_) {
-      if (scope.name.empty()) continue;
-      if (!joined.empty()) joined += "::";
-      joined += scope.name;
-    }
-    return joined;
-  }
-
-  /// Walk back over `A::B::` qualifiers from the name token at `i`.
-  /// Returns the chain start index (and notes a leading '~').
-  [[nodiscard]] std::size_t chain_start(std::size_t i) const {
-    std::size_t j = i;
-    while (j >= 2 && t_[j - 1].text == "::" && t_[j - 2].kind == TokKind::Ident) {
-      j -= 2;
-    }
-    return j;
-  }
-
-  [[nodiscard]] std::string chain_text(std::size_t start, std::size_t i) const {
-    std::string name;
-    if (start >= 1 && t_[start - 1].text == "~") name = "~";
-    for (std::size_t j = start; j <= i; ++j) {
-      name += t_[j].text;
-    }
-    return name;
-  }
-
-  [[nodiscard]] bool member_access_before(std::size_t i) const {
-    if (i == 0) return false;
-    if (t_[i - 1].text == ".") return true;
-    return i >= 2 && t_[i - 1].text == ">" && t_[i - 2].text == "-";
-  }
-
-  void add_fact(FactKind kind, int line, std::string token) {
-    const int f = current_function();
-    if (f < 0) return;
-    out_.defs[static_cast<std::size_t>(f)].facts.push_back(
-        {kind, line, std::move(token)});
-  }
-
-  void add_callee(std::string name) {
-    const int f = current_function();
-    if (f < 0) return;
-    out_.defs[static_cast<std::size_t>(f)].callees.insert(std::move(name));
-  }
-
-  // ---- constructs -----------------------------------------------------
-
-  void handle_namespace() {
-    std::size_t j = i_ + 1;
-    std::string name;
-    while (j < t_.size() && (t_[j].kind == TokKind::Ident || t_[j].text == "::")) {
-      name += t_[j].text;
-      ++j;
-    }
-    if (is(j, "=")) {  // namespace alias
-      while (j < t_.size() && t_[j].text != ";") ++j;
-      i_ = j + 1;
-      return;
-    }
-    if (is(j, "{")) {
-      ++depth_;
-      scopes_.push_back({Scope::Kind::Namespace, name, depth_, -1});
-      i_ = j + 1;
-      return;
-    }
-    i_ = j;
-  }
-
-  void handle_class() {
-    // `template <class T>` type parameters are not class definitions.
-    if (i_ > 0 && (t_[i_ - 1].text == "<" || t_[i_ - 1].text == ",")) {
-      ++i_;
-      return;
-    }
-    std::size_t j = i_ + 1;
-    while (is(j, "[")) j = skip_balanced(j, "[", "]");  // [[attributes]]
-    std::string name;
-    if (ident(j)) {
-      name = t_[j].text;
-      ++j;
-    }
-    while (j < t_.size() && t_[j].text != "{" && t_[j].text != ";") ++j;
-    if (is(j, "{")) {
-      ++depth_;
-      scopes_.push_back({Scope::Kind::Class, name, depth_, -1});
-      i_ = j + 1;
-      return;
-    }
-    i_ = (j < t_.size()) ? j + 1 : j;  // forward declaration
-  }
-
-  void handle_enum() {
-    std::size_t j = i_ + 1;
-    while (j < t_.size() && t_[j].text != "{" && t_[j].text != ";") ++j;
-    if (is(j, "{")) {
-      i_ = skip_balanced(j, "{", "}");  // enumerators hold no code the rules see
-      return;
-    }
-    i_ = (j < t_.size()) ? j + 1 : j;
-  }
-
-  /// Ident followed by '(' inside a function body: a call site, possibly
-  /// also a fact (growth idiom, blocking call, entropy draw, ...).
-  void handle_call(std::size_t i) {
-    const std::string_view name = t_[i].text;
-    const int line = t_[i].line;
-    if (member_access_before(i)) {
-      if (in(kGrowthMethods, name)) add_fact(FactKind::Growth, line, "." + std::string(name));
-      if (name == "lock" || name == "try_lock") {
-        add_fact(FactKind::Lock, line, "." + std::string(name));
-      }
-      add_callee(std::string(name));
-      ++i_;
-      return;
-    }
-    const std::size_t start = chain_start(i);
-    const bool std_qualified = start < i && t_[start].text == "std";
-    if (in(kBlockingCalls, name)) add_fact(FactKind::Blocking, line, std::string(name));
-    if (in(kAllocCalls, name)) add_fact(FactKind::Alloc, line, std::string(name));
-    if (in(kWallClockCalls, name)) add_fact(FactKind::WallClock, line, std::string(name));
-    if (!std_qualified && (name == "rand" || name == "time")) {
-      // A call site, not a declaration whose name merely collides (same
-      // heuristic as the per-TU banned-call rule).
-      const bool qualified_elsewhere =
-          start < i || (i >= 1 && t_[i - 1].text == "::");
-      const bool after_ident = i >= 1 && t_[i - 1].kind == TokKind::Ident &&
-                               t_[i - 1].text != "return" && t_[i - 1].text != "case" &&
-                               t_[i - 1].text != "else" && t_[i - 1].text != "do";
-      if (!qualified_elsewhere && !after_ident) {
-        add_fact(name == "rand" ? FactKind::Entropy : FactKind::WallClock, line,
-                 std::string(name));
-      }
-    }
-    if (name == "srand") add_fact(FactKind::Entropy, line, "srand");
-    if (!std_qualified && !in(kNotACall, name)) add_callee(std::string(name));
-    ++i_;
-  }
-
-  /// Plain identifier facts inside a function body (no '(' required).
-  void handle_body_ident(std::size_t i) {
-    const std::string_view name = t_[i].text;
-    const int line = t_[i].line;
-    if (name == "throw") {
-      add_fact(FactKind::Throw, line, "throw");
-    } else if (name == "new") {
-      // `new (place) T` is placement construction into existing storage
-      // (util::InlineFn's slot emplace); `new T` / `new T[n]` allocates.
-      if (!is(i + 1, "(")) add_fact(FactKind::Alloc, line, "new");
-    } else if (in(kLockTypes, name)) {
-      add_fact(FactKind::Lock, line, std::string(name));
-    } else if (in(kIostreamIdents, name)) {
-      add_fact(FactKind::Iostream, line, std::string(name));
-    } else if (name == "random_device") {
-      add_fact(FactKind::Entropy, line, "random_device");
-    } else if (in(kBannedClocks, name) && is(i + 1, "::") && is(i + 2, "now")) {
-      add_fact(FactKind::WallClock, line, std::string(name) + "::now");
-    }
-    ++i_;
-  }
-
-  /// Ident followed by '(' at namespace/class scope: try to parse a
-  /// function declaration or definition. Returns having advanced i_.
-  void handle_candidate(std::size_t i) {
-    const std::string_view name = t_[i].text;
-    if (in(kNotACall, name)) {
-      ++i_;
-      return;
-    }
-    const std::size_t start = chain_start(i);
-    const std::size_t params_open = i + 1;
-    const std::size_t after_params = skip_balanced(params_open, "(", ")");
-    if (after_params >= t_.size()) {
-      ++i_;
-      return;
-    }
-
-    std::size_t j = after_params;
-    // Specifier run: const/noexcept/override/final/try, noexcept(...),
-    // trailing return types.
-    while (j < t_.size()) {
-      const std::string_view text = t_[j].text;
-      if (text == "const" || text == "override" || text == "final" ||
-          text == "mutable" || text == "try") {
-        ++j;
-        continue;
-      }
-      if (text == "noexcept") {
-        ++j;
-        if (is(j, "(")) j = skip_balanced(j, "(", ")");
-        continue;
-      }
-      if (text == "-" && is(j + 1, ">")) {  // trailing return type
-        j += 2;
-        while (j < t_.size() && t_[j].text != "{" && t_[j].text != ";" &&
-               t_[j].text != "=") {
-          ++j;
-        }
-        continue;
-      }
-      break;
-    }
-
-    bool is_definition = false;
-    bool is_declaration = false;
-    std::size_t body_open = t_.size();
-    if (is(j, "{")) {
-      is_definition = true;
-      body_open = j;
-    } else if (is(j, ";")) {
-      is_declaration = true;
-    } else if (is(j, "=")) {
-      // `= default; / = delete; / = 0;` — declarations all.
-      if ((is(j + 1, "default") || is(j + 1, "delete") || is(j + 1, "0")) &&
-          is(j + 2, ";")) {
-        is_declaration = true;
-        j += 2;
-      }
-    } else if (is(j, ":") ) {
-      // Constructor initializer list: members followed by (...) or {...},
-      // comma-separated; the first unconsumed '{' after an initializer is
-      // the body.
-      ++j;
-      while (j < t_.size()) {
-        while (j < t_.size() && t_[j].text != "(" && t_[j].text != "{" &&
-               t_[j].text != ";" && t_[j].text != "}") {
-          ++j;
-        }
-        if (!is(j, "(") && !is(j, "{")) break;
-        j = skip_balanced(j, t_[j].text, t_[j].text == "(" ? ")" : "}");
-        if (is(j, ",")) {
-          ++j;
-          continue;
-        }
-        if (is(j, "{")) {
-          is_definition = true;
-          body_open = j;
-        }
-        break;
-      }
-    }
-
-    if (!is_definition && !is_declaration) {
-      ++i_;
-      return;
-    }
-
-    std::string chain = chain_text(start, i);
-    std::string qualified = scope_prefix();
-    if (!qualified.empty() && !chain.empty()) qualified += "::";
-    qualified += chain;
-
-    if (is_declaration) {
-      if (pending_hot_) out_.hot_qualified.insert(qualified);
-      if (pending_noreturn_) out_.noreturn_qualified.insert(qualified);
-      if (pending_boundary_) {
-        out_.boundary_last.insert(std::string(name));
-        out_.boundary_qualified.insert(qualified);
-      }
-      reset_pending();
-      i_ = j + 1;
-      return;
-    }
-
-    FunctionDef def;
-    def.qualified = std::move(qualified);
-    def.last = std::string(name);
-    def.file = std::string(path_);
-    def.line = t_[i].line;
-    def.hot = pending_hot_;
-    def.noreturn = pending_noreturn_;
-    // Display name: the last two segments ("Class::method") read well in
-    // chains without the namespace noise.
-    {
-      const std::string& q = def.qualified;
-      std::size_t cut = std::string::npos;
-      const std::size_t last_sep = q.rfind("::");
-      if (last_sep != std::string::npos && last_sep > 0) {
-        cut = q.rfind("::", last_sep - 1);
-      }
-      def.display = (cut == std::string::npos) ? q : q.substr(cut + 2);
-    }
-    if (pending_boundary_) {
-      out_.boundary_last.insert(def.last);
-      out_.boundary_qualified.insert(def.qualified);
-    }
-    reset_pending();
-    out_.defs.push_back(std::move(def));
-
-    ++depth_;
-    scopes_.push_back({Scope::Kind::Function, "", depth_,
-                       static_cast<int>(out_.defs.size()) - 1});
-    i_ = body_open + 1;
-  }
-
-  void step() {
-    const Token& t = t_[i_];
-    if (t.kind == TokKind::Punct) {
-      if (t.text == "{") {
-        open_block();
-        ++i_;
-        return;
-      }
-      if (t.text == "}") {
-        close_brace();
-        ++i_;
-        return;
-      }
-      if (t.text == ";") reset_pending();
-      ++i_;
-      return;
-    }
-    if (t.kind != TokKind::Ident) {
-      ++i_;
-      return;
-    }
-
-    const std::string_view text = t.text;
-    if (text == "IWSCAN_HOT") {
-      pending_hot_ = true;
-      ++i_;
-      return;
-    }
-    if (text == "IWSCAN_HOT_BOUNDARY") {
-      pending_boundary_ = true;
-      ++i_;
-      return;
-    }
-    if (text == "noreturn") {
-      pending_noreturn_ = true;
-      ++i_;
-      return;
-    }
-
-    const bool in_fn = current_function() >= 0;
-    if (!in_fn) {
-      if (text == "namespace") {
-        handle_namespace();
-        return;
-      }
-      if (text == "class" || text == "struct" || text == "union") {
-        handle_class();
-        return;
-      }
-      if (text == "enum") {
-        handle_enum();
-        return;
-      }
-      if (is(i_ + 1, "(")) {
-        handle_candidate(i_);
-        return;
-      }
-      ++i_;
-      return;
-    }
-    if (is(i_ + 1, "(") && !in(kNotACall, text)) {
-      handle_call(i_);
-      return;
-    }
-    handle_body_ident(i_);
-  }
-
-  std::string_view path_;
-  const std::vector<Token>& t_;
-  ExtractOut& out_;
-  std::size_t i_ = 0;
-  int depth_ = 0;
-  std::vector<Scope> scopes_;
-  bool pending_hot_ = false;
-  bool pending_boundary_ = false;
-  bool pending_noreturn_ = false;
-};
 
 // ---------------------------------------------------------------------------
 // Reachability: worklist BFS with parent tracking (cycle-tolerant — a
@@ -577,10 +23,8 @@ struct Graph {
   std::set<std::string> boundary_qualified;
 };
 
-/// BFS from `roots`. `traverse(def)` gates whether a reached definition is
-/// expanded (its callees followed) — facts are still collected for any
-/// visited def the caller keeps. Returns parent indices (-1 for roots),
-/// or absent = unreachable.
+/// BFS from `roots`. Returns parent indices (-1 for roots), or absent =
+/// unreachable.
 std::map<int, int> reach(const Graph& graph, const std::vector<int>& roots,
                          bool respect_boundaries,
                          const std::set<std::string>& opaque_files) {
@@ -670,29 +114,20 @@ void report(const Graph& graph, const std::map<int, int>& parent,
 
 }  // namespace
 
-void run_program_rules(const std::vector<SourceFile>& files,
-                       std::vector<Finding>& findings, ProgramStats* stats) {
-  ExtractOut out;
-  std::size_t graph_files = 0;
-  for (const auto& file : files) {
-    if (file.path.rfind("src/", 0) != 0) continue;
-    ++graph_files;
-    const ScanResult scan = tokenize(file.content);
-    Extractor(file.path, scan, out).run();
-  }
-
+void run_callgraph_rules(SymbolTable symbols, std::vector<Finding>& findings,
+                         ProgramStats* stats) {
   Graph graph;
-  graph.defs = std::move(out.defs);
+  graph.defs = std::move(symbols.defs);
   std::sort(graph.defs.begin(), graph.defs.end(),
             [](const FunctionDef& a, const FunctionDef& b) {
               return std::tie(a.file, a.line) < std::tie(b.file, b.line);
             });
   for (auto& def : graph.defs) {
-    if (out.hot_qualified.count(def.qualified) != 0) def.hot = true;
-    if (out.noreturn_qualified.count(def.qualified) != 0) def.noreturn = true;
+    if (symbols.hot_qualified.count(def.qualified) != 0) def.hot = true;
+    if (symbols.noreturn_qualified.count(def.qualified) != 0) def.noreturn = true;
   }
-  graph.boundary_last = std::move(out.boundary_last);
-  graph.boundary_qualified = std::move(out.boundary_qualified);
+  graph.boundary_last = std::move(symbols.boundary_last);
+  graph.boundary_qualified = std::move(symbols.boundary_qualified);
   for (std::size_t i = 0; i < graph.defs.size(); ++i) {
     graph.by_last[graph.defs[i].last].push_back(static_cast<int>(i));
   }
@@ -730,7 +165,7 @@ void run_program_rules(const std::vector<SourceFile>& files,
          quarantine, findings);
 
   if (stats != nullptr) {
-    stats->files = graph_files;
+    stats->files = symbols.files_indexed;
     stats->functions = graph.defs.size();
     std::size_t edges = 0;
     for (const auto& def : graph.defs) {

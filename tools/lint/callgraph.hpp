@@ -1,8 +1,7 @@
-// Cross-TU call-graph layer: the whole-program half of iwlint.
+// Cross-TU call-graph layer: the reachability half of iwlint's
+// whole-program analysis, over the symbol index built by symbols.hpp.
 //
-// Builds a symbol index and call graph over every src/ translation unit —
-// functions, methods, out-of-line definitions, lambdas folded into their
-// enclosing function — then runs two reachability rule families on top:
+// Two reachability rule families run on top of the graph:
 //
 //   hot-path          IWSCAN_HOT roots (the PR 4 datapath) must not reach
 //                     allocation, container growth, locks, blocking calls,
@@ -26,23 +25,28 @@
 #include <cstddef>
 #include <vector>
 
+#include "dataflow.hpp"
 #include "iwlint.hpp"
+#include "symbols.hpp"
 #include "tokens.hpp"
 
 namespace iwscan::lint {
 
-/// Size of the program analysis, for --json visibility and the bench guard.
+/// Size of the whole-program analysis, for --json visibility and the bench
+/// guard.
 struct ProgramStats {
-  std::size_t files = 0;       // files fed into the call-graph pass
+  std::size_t files = 0;       // src/ files fed into the symbol pass
   std::size_t functions = 0;   // function definitions indexed
   std::size_t call_edges = 0;  // resolved (caller, callee-def) edges
   std::size_t hot_roots = 0;   // IWSCAN_HOT roots found
   std::size_t taint_roots = 0; // determinism roots found
+  DataflowStats dataflow;      // the per-function taint pass (dataflow.hpp)
 };
 
-/// Run the cross-TU rules over `files` (only src/ files participate),
-/// appending raw findings (suppressions are applied by the caller).
-void run_program_rules(const std::vector<SourceFile>& files,
-                       std::vector<Finding>& findings, ProgramStats* stats);
+/// Run the cross-TU reachability rules over the symbol table, appending
+/// raw findings (suppressions are applied by the caller). Takes the table
+/// by value: the graph re-sorts and re-indexes the definitions.
+void run_callgraph_rules(SymbolTable symbols, std::vector<Finding>& findings,
+                         ProgramStats* stats);
 
 }  // namespace iwscan::lint

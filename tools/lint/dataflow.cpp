@@ -1,0 +1,638 @@
+#include "dataflow.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace iwscan::lint {
+namespace {
+
+template <std::size_t N>
+[[nodiscard]] bool in(const std::array<std::string_view, N>& set,
+                      std::string_view text) {
+  return std::find(set.begin(), set.end(), text) != set.end();
+}
+
+// ---------------------------------------------------------------------------
+// wire-taint vocabulary
+// ---------------------------------------------------------------------------
+
+// Zero-argument WireReader accessors whose return value is attacker bytes.
+constexpr std::array<std::string_view, 4> kScalarSources = {"u8", "u16", "u24",
+                                                            "u32"};
+
+// Methods that return a view of their receiver's bytes: on a WireReader or
+// a wire buffer they produce another wire buffer.
+constexpr std::array<std::string_view, 5> kViewMethods = {"raw", "bytes",
+                                                          "subspan", "first",
+                                                          "last"};
+
+// Decoded header fields that carry attacker-chosen lengths/offsets. Reads
+// of `x.field` / `x->field` are taint sources until the field is guarded.
+constexpr std::array<std::string_view, 6> kTaintedFields = {
+    "total_length", "fragment_offset", "data_offset",
+    "urgent",       "seq_or_mtu",      "id_or_unused"};
+
+// Sinks: container sizing, span slicing, WireWriter patch offsets.
+constexpr std::array<std::string_view, 2> kSizeSinks = {"resize", "reserve"};
+constexpr std::array<std::string_view, 3> kViewSinks = {"subspan", "first",
+                                                        "last"};
+constexpr std::array<std::string_view, 3> kPatchSinks = {"patch_u8",
+                                                         "patch_u16",
+                                                         "patch_u24"};
+
+// Bound-carrying method calls whose presence in a conditional makes it a
+// sanitizing guard.
+constexpr std::array<std::string_view, 4> kBoundMethods = {
+    "size", "remaining", "length", "capacity"};
+
+// Calls that sanitize their tainted operands wherever they appear.
+constexpr std::array<std::string_view, 3> kClampCalls = {"require", "min",
+                                                         "clamp"};
+
+[[nodiscard]] bool is_k_constant(std::string_view text) {
+  return text.size() >= 2 && text[0] == 'k' &&
+         text[1] >= 'A' && text[1] <= 'Z';
+}
+
+// ---------------------------------------------------------------------------
+// Per-function taint walk: one linear forward pass over the body tokens,
+// statement by statement. State is a taint map (variable or `obj.field`
+// pseudo-variable → its def chain), a sanitized set, and the set of
+// wire-buffer views.
+// ---------------------------------------------------------------------------
+
+class FunctionTaint {
+ public:
+  FunctionTaint(const SourceFile& file, const ScanResult& scan,
+                const FunctionDef& def, std::vector<Finding>& findings,
+                DataflowStats& stats)
+      : path_(file.path), t_(scan.tokens), def_(def), findings_(findings),
+        stats_(stats) {}
+
+  void run() {
+    seed_params();
+    split_statements(def_.body_begin, std::min(def_.body_end, t_.size()));
+  }
+
+ private:
+  [[nodiscard]] bool is(std::size_t i, std::string_view text) const {
+    return i < t_.size() && t_[i].text == text;
+  }
+  [[nodiscard]] bool ident(std::size_t i) const {
+    return i < t_.size() && t_[i].kind == TokKind::Ident;
+  }
+  [[nodiscard]] bool member_access_before(std::size_t i) const {
+    if (i == 0) return false;
+    if (t_[i - 1].text == ".") return true;
+    return i >= 2 && t_[i - 1].text == ">" && t_[i - 2].text == "-";
+  }
+
+  /// `obj.field` key for the member read/write at token i (the field name);
+  /// '->' normalizes to '.', so a guard on `ip->total_length` sanitizes a
+  /// later `ip->total_length` read. One level deep — enough for the
+  /// decoded-header idiom the rule exists for.
+  [[nodiscard]] std::string pseudo_name(std::size_t i) const {
+    std::size_t base = t_.size();
+    if (i >= 2 && t_[i - 1].text == ".") base = i - 2;
+    if (i >= 3 && t_[i - 1].text == ">" && t_[i - 2].text == "-") base = i - 3;
+    std::string key;
+    if (base < t_.size() && t_[base].kind == TokKind::Ident) {
+      key = std::string(t_[base].text);
+    }
+    key += ".";
+    key += t_[i].text;
+    return key;
+  }
+
+  [[nodiscard]] std::size_t find_close(std::size_t open, std::size_t limit,
+                                       std::string_view o,
+                                       std::string_view c) const {
+    int d = 0;
+    for (std::size_t j = open; j < limit; ++j) {
+      if (t_[j].text == o) ++d;
+      if (t_[j].text == c && --d == 0) return j;
+    }
+    return limit;
+  }
+
+  // ---- parameter seeding ------------------------------------------------
+
+  /// Byte-span parameters (std::span<const std::uint8_t>, net::PacketView,
+  /// net::Bytes) are wire buffers: subscript reads from them are sources.
+  void seed_params() {
+    const std::size_t begin = def_.params_begin;
+    const std::size_t end = std::min(def_.params_end, t_.size());
+    std::size_t chunk = begin;
+    int depth = 0;
+    for (std::size_t j = begin; j <= end; ++j) {
+      const bool at_end = (j == end);
+      if (!at_end) {
+        const std::string_view text = t_[j].text;
+        if (text == "(" || text == "[" || text == "{") ++depth;
+        if (text == ")" || text == "]" || text == "}") --depth;
+        if (!(depth == 0 && text == ",")) continue;
+      }
+      // One parameter in [chunk, j): name = last ident before any '=',
+      // buffer-ness decided by the type tokens.
+      bool spanish = false;
+      bool bytish = false;
+      std::size_t name_at = t_.size();
+      for (std::size_t k = chunk; k < j; ++k) {
+        const std::string_view text = t_[k].text;
+        if (text == "=") break;
+        if (t_[k].kind != TokKind::Ident) continue;
+        if (text == "span") spanish = true;
+        if (text == "uint8_t") bytish = true;
+        if (text == "PacketView" || text == "Bytes") {
+          spanish = bytish = true;
+        }
+        name_at = k;
+      }
+      if (spanish && bytish && name_at < t_.size()) {
+        buffers_.insert(std::string(t_[name_at].text));
+      }
+      chunk = j + 1;
+    }
+  }
+
+  // ---- statement iteration ---------------------------------------------
+
+  void split_statements(std::size_t begin, std::size_t end) {
+    std::size_t s = begin;
+    int depth = 0;
+    for (std::size_t j = begin; j < end; ++j) {
+      const std::string_view text = t_[j].text;
+      if (t_[j].kind == TokKind::Punct) {
+        if (text == "(" || text == "[") ++depth;
+        if (text == ")" || text == "]") --depth;
+        if (depth <= 0 && (text == ";" || text == "{" || text == "}")) {
+          depth = 0;
+          if (j > s) statement(s, j);
+          s = j + 1;
+        }
+      }
+    }
+    if (end > s) statement(s, end);
+  }
+
+  /// The condition region of a chunk: the paren group of if/while, the
+  /// middle clause of a classic for, the whole chunk for ternaries, and
+  /// nothing otherwise.
+  struct Condition {
+    std::size_t begin = 0;
+    std::size_t end = 0;  // empty range = no condition
+    bool loop = false;    // the region is a loop bound (for/while)
+  };
+
+  [[nodiscard]] Condition condition_of(std::size_t s, std::size_t e) const {
+    Condition cond;
+    const std::string_view head = t_[s].text;
+    if ((head == "if" || head == "while" || head == "for") && is(s + 1, "(")) {
+      const std::size_t close = find_close(s + 1, e, "(", ")");
+      cond.begin = s + 2;
+      cond.end = close;
+      cond.loop = (head != "if");
+      if (head == "for") {
+        // Classic for: the bound is between the two top-level ';'. A
+        // range-for has none — its buffer read is handled as a def.
+        std::size_t first = cond.end;
+        std::size_t second = cond.end;
+        int depth = 0;
+        for (std::size_t j = cond.begin; j < cond.end; ++j) {
+          const std::string_view text = t_[j].text;
+          if (text == "(" || text == "[") ++depth;
+          if (text == ")" || text == "]") --depth;
+          if (depth == 0 && text == ";") {
+            if (first == cond.end) {
+              first = j;
+            } else {
+              second = j;
+              break;
+            }
+          }
+        }
+        if (first == cond.end) {
+          cond.begin = cond.end;  // range-for: no bound clause
+        } else {
+          cond.begin = first + 1;
+          cond.end = second;
+        }
+      }
+      return cond;
+    }
+    for (std::size_t j = s; j < e; ++j) {
+      if (t_[j].kind == TokKind::Punct && t_[j].text == "?" &&
+          !is(j + 1, "?")) {
+        cond.begin = s;
+        cond.end = e;
+        return cond;
+      }
+    }
+    return cond;
+  }
+
+  /// A conditional whose condition mentions a bound — size()/remaining()/
+  /// sizeof/a kConstant/a literal — sanitizes every tainted name it
+  /// compares. require/min/clamp sanitize their operands anywhere.
+  [[nodiscard]] bool has_bound_marker(std::size_t a, std::size_t b) const {
+    for (std::size_t j = a; j < b; ++j) {
+      if (t_[j].kind == TokKind::Number) return true;
+      if (t_[j].kind != TokKind::Ident) continue;
+      const std::string_view text = t_[j].text;
+      if (text == "sizeof" || is_k_constant(text)) return true;
+      if (in(kBoundMethods, text) && member_access_before(j) && is(j + 1, "("))
+        return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool has_clamp_call(std::size_t s, std::size_t e) const {
+    for (std::size_t j = s; j < e; ++j) {
+      if (!ident(j) || !in(kClampCalls, t_[j].text)) continue;
+      // `std::min<std::size_t>(a, b)`: hop the template argument list.
+      std::size_t k = j + 1;
+      if (is(k, "<")) {
+        int angles = 0;
+        for (; k < e; ++k) {
+          if (t_[k].text == "<") ++angles;
+          if (t_[k].text == ">" && --angles == 0) {
+            ++k;
+            break;
+          }
+        }
+      }
+      if (is(k, "(")) return true;
+    }
+    return false;
+  }
+
+  void sanitize_range(std::size_t a, std::size_t b) {
+    for (std::size_t j = a; j < b; ++j) {
+      if (!ident(j)) continue;
+      std::string name;
+      if (member_access_before(j)) {
+        if (!in(kTaintedFields, t_[j].text) &&
+            tainted_.count(pseudo_name(j)) == 0) {
+          continue;
+        }
+        name = pseudo_name(j);
+      } else {
+        name = std::string(t_[j].text);
+        if (tainted_.count(name) == 0) continue;
+      }
+      if (clean_.insert(name).second) ++stats_.taint_guards;
+      tainted_.erase(name);
+    }
+  }
+
+  // ---- taint lookup -----------------------------------------------------
+
+  /// First tainted value in [a, b): a tainted local, a tainted or unguarded
+  /// `obj.field` read, a direct WireReader accessor call, or a subscript
+  /// read from a wire buffer. Returns its def chain.
+  [[nodiscard]] std::optional<std::string> find_tainted(std::size_t a,
+                                                        std::size_t b) {
+    for (std::size_t j = a; j < b && j < t_.size(); ++j) {
+      if (!ident(j)) continue;
+      const std::string_view text = t_[j].text;
+      if (member_access_before(j)) {
+        const std::string pseudo = pseudo_name(j);
+        const auto it = tainted_.find(pseudo);
+        if (it != tainted_.end()) return it->second;
+        if (in(kScalarSources, text) && is(j + 1, "(") && is(j + 2, ")")) {
+          ++stats_.taint_sources;
+          return pseudo + "() (line " + std::to_string(t_[j].line) + ")";
+        }
+        if (in(kTaintedFields, text) && clean_.count(pseudo) == 0) {
+          ++stats_.taint_sources;
+          return pseudo + " (line " + std::to_string(t_[j].line) + ")";
+        }
+        continue;
+      }
+      const auto it = tainted_.find(std::string(text));
+      if (it != tainted_.end()) return it->second;
+      if (buffers_.count(std::string(text)) != 0 && is(j + 1, "[")) {
+        ++stats_.taint_sources;
+        return std::string(text) + "[...] (line " + std::to_string(t_[j].line) +
+               ")";
+      }
+    }
+    return std::nullopt;
+  }
+
+  // ---- sinks ------------------------------------------------------------
+
+  void report(int line, const std::string& chain, std::string_view sink) {
+    findings_.push_back(
+        {std::string(path_), line, "wire-taint",
+         "tainted wire value [" + chain + "] flows into " + std::string(sink) +
+             " in '" + def_.display +
+             "' without a bounds guard; sanitize with WireReader::require(), "
+             "a comparison against size()/remaining(), or std::min/std::clamp "
+             "(DESIGN.md §9)"});
+  }
+
+  void check_sinks(std::size_t s, std::size_t e, const Condition& cond) {
+    for (std::size_t j = s; j < e; ++j) {
+      if (ident(j) && member_access_before(j) && is(j + 1, "(")) {
+        const std::string_view text = t_[j].text;
+        std::string_view sink;
+        if (in(kSizeSinks, text)) sink = "container sizing";
+        if (in(kViewSinks, text)) sink = "span slicing";
+        if (in(kPatchSinks, text)) sink = "a WireWriter patch offset";
+        if (sink.empty()) continue;
+        ++stats_.taint_sinks;
+        const std::size_t close = find_close(j + 1, e, "(", ")");
+        if (has_clamp_call(j + 2, close)) continue;  // clamped in place
+        if (auto chain = find_tainted(j + 2, close)) {
+          std::string where = ".";
+          where += text;
+          where += "() (";
+          where += sink;
+          where += ")";
+          report(t_[j].line, *chain, where);
+        }
+        continue;
+      }
+      // Subscript index: base '[' expr ']' where base is an expression
+      // (ident / ')' / ']'), not a lambda introducer or attribute.
+      if (t_[j].kind == TokKind::Punct && t_[j].text == "[" && j > s &&
+          !is(j + 1, "[") && !is(j + 1, "]")) {
+        const Token& prev = t_[j - 1];
+        const bool indexable = prev.kind == TokKind::Ident ||
+                               prev.text == ")" || prev.text == "]";
+        if (!indexable || prev.text == "[") continue;
+        ++stats_.taint_sinks;
+        const std::size_t close = find_close(j, e, "[", "]");
+        if (auto chain = find_tainted(j + 1, close)) {
+          report(t_[j].line, *chain, "a subscript index");
+        }
+      }
+    }
+    if (cond.loop && cond.begin < cond.end) {
+      ++stats_.taint_sinks;
+      if (auto chain = find_tainted(cond.begin, cond.end)) {
+        report(t_[cond.begin].line, *chain, "a loop bound");
+      }
+    }
+  }
+
+  // ---- defs -------------------------------------------------------------
+
+  [[nodiscard]] static bool is_arith_op(std::string_view text) {
+    return text == "+" || text == "-" || text == "*" || text == "/" ||
+           text == "%" || text == "&" || text == "|" || text == "^" ||
+           text == "<" || text == ">";
+  }
+
+  /// True when the range holds a wire-buffer producer: reader.raw(n) /
+  /// .bytes(n), a slice of an existing buffer, or a bare buffer alias.
+  [[nodiscard]] bool buffer_rhs(std::size_t a, std::size_t b) const {
+    for (std::size_t j = a; j < b && j < t_.size(); ++j) {
+      if (!ident(j)) continue;
+      const std::string_view text = t_[j].text;
+      if (member_access_before(j) && is(j + 1, "(") && in(kViewMethods, text)) {
+        if (text == "raw" || text == "bytes") return true;
+        // subspan/first/last make a buffer only out of a buffer.
+        if (j >= 2 && t_[j - 1].text == "." &&
+            buffers_.count(std::string(t_[j - 2].text)) != 0) {
+          return true;
+        }
+        continue;
+      }
+      if (!member_access_before(j) && buffers_.count(std::string(text)) != 0 &&
+          !is(j + 1, "[")) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void process_defs(std::size_t s, std::size_t e) {
+    // Range-for: `for (auto v : buf)` reads wire bytes into v.
+    if (is(s, "for") && is(s + 1, "(")) {
+      const std::size_t close = find_close(s + 1, e, "(", ")");
+      for (std::size_t j = s + 2; j < close; ++j) {
+        if (t_[j].kind == TokKind::Punct && t_[j].text == ":" && j > s + 2 &&
+            ident(j - 1)) {
+          const std::string var(t_[j - 1].text);
+          if (auto chain = find_tainted(j + 1, close)) {
+            taint(var, t_[j - 1].line, *chain);
+          } else if (buffer_rhs(j + 1, close)) {
+            taint(var, t_[j - 1].line,
+                  "byte read off " + std::string(t_[j + 1].text) + " (line " +
+                      std::to_string(t_[j + 1].line) + ")");
+          }
+          return;
+        }
+      }
+    }
+
+    for (std::size_t j = s + 1; j < e; ++j) {
+      if (t_[j].kind != TokKind::Punct || t_[j].text != "=") continue;
+      if (is(j + 1, "=")) {  // '==' comparison
+        ++j;
+        continue;
+      }
+      const std::string_view prev = t_[j - 1].text;
+      if (prev == "!" || prev == "<" || prev == ">" || prev == "=") continue;
+      std::size_t lhs_at = j - 1;
+      bool compound = false;
+      if (t_[j - 1].kind == TokKind::Punct && is_arith_op(prev)) {
+        compound = true;  // += and friends tokenize as op + '='
+        while (lhs_at > s && t_[lhs_at].kind == TokKind::Punct &&
+               is_arith_op(t_[lhs_at].text)) {
+          --lhs_at;
+        }
+      }
+      if (!ident(lhs_at)) continue;  // subscript/call stores have no local def
+      std::string lhs;
+      if (member_access_before(lhs_at)) {
+        lhs = pseudo_name(lhs_at);
+      } else {
+        lhs = std::string(t_[lhs_at].text);
+      }
+
+      // A clamp in the RHS bounds whatever it wraps: the defined value is
+      // clean even when the wire read sits inside the min/clamp call.
+      std::optional<std::string> chain;
+      if (!has_clamp_call(j + 1, e)) chain = find_tainted(j + 1, e);
+      if (chain) {
+        taint(lhs, t_[lhs_at].line, *chain);
+      } else if (!compound) {
+        tainted_.erase(lhs);  // strong update: a clean RHS kills taint
+      }
+      if (buffer_rhs(j + 1, e)) buffers_.insert(lhs);
+      return;  // one def per statement is the idiom this pass models
+    }
+  }
+
+  void taint(const std::string& name, int line, const std::string& chain) {
+    std::string entry = chain;
+    // Self-assignment noise (`len = len * 2`) keeps the original chain.
+    if (chain.rfind(name + " (", 0) != 0) {
+      entry += " -> " + name + " (line " + std::to_string(line) + ")";
+    }
+    tainted_[name] = std::move(entry);
+    clean_.erase(name);
+  }
+
+  // ---- driver -----------------------------------------------------------
+
+  void statement(std::size_t s, std::size_t e) {
+    const Condition cond = condition_of(s, e);
+    const bool conditional = cond.begin < cond.end;
+    const bool guard =
+        (conditional && has_bound_marker(cond.begin, cond.end));
+    if (has_clamp_call(s, e)) {
+      sanitize_range(s, e);
+    } else if (guard) {
+      sanitize_range(cond.begin, cond.end);
+    }
+    check_sinks(s, e, guard ? Condition{} : cond);
+    process_defs(s, e);
+    // An if-initializer (`if (auto n = r.u16(); n > kMax)`) defines and
+    // guards in one statement; re-sanitizing after the def covers it.
+    if (guard) sanitize_range(cond.begin, cond.end);
+  }
+
+  std::string_view path_;
+  const std::vector<Token>& t_;
+  const FunctionDef& def_;
+  std::vector<Finding>& findings_;
+  DataflowStats& stats_;
+
+  std::map<std::string, std::string> tainted_;  // name -> def chain
+  std::set<std::string> clean_;                 // sanitized names
+  std::set<std::string> buffers_;               // wire-buffer views
+};
+
+// ---------------------------------------------------------------------------
+// concurrency-confinement: token scan per src/ file + the symbol table's
+// mutable globals. Thread creation lives in src/exec/thread_pool.*;
+// primitives live in src/exec/; std::future and friends are banned
+// outright; mutable namespace-scope state is banned tree-wide.
+// ---------------------------------------------------------------------------
+
+constexpr std::array<std::string_view, 2> kThreadTypes = {"thread", "jthread"};
+
+constexpr std::array<std::string_view, 9> kHandoffTypes = {
+    "future",  "promise", "packaged_task",      "shared_future",   "async",
+    "latch",   "barrier", "counting_semaphore", "binary_semaphore"};
+
+constexpr std::array<std::string_view, 20> kSyncTypes = {
+    "mutex",          "recursive_mutex",        "timed_mutex",
+    "shared_mutex",   "recursive_timed_mutex",  "shared_timed_mutex",
+    "condition_variable", "condition_variable_any", "lock_guard",
+    "unique_lock",    "scoped_lock",            "shared_lock",
+    "atomic",         "atomic_flag",            "atomic_ref",
+    "atomic_bool",    "atomic_int",             "atomic_uint",
+    "atomic_size_t",  "atomic_uint64_t"};
+
+void check_concurrency(const SourceFile& file, const ScanResult& scan,
+                       std::vector<Finding>& findings) {
+  const std::string& path = file.path;
+  const bool in_exec = path.rfind("src/exec/", 0) == 0;
+  const bool in_thread_pool = path == "src/exec/thread_pool.cpp" ||
+                              path == "src/exec/thread_pool.hpp";
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Ident) continue;
+    const std::string_view text = toks[i].text;
+    const int line = toks[i].line;
+
+    if (text == "thread_local") {
+      if (!in_exec) {
+        findings.push_back(
+            {path, line, "concurrency-confinement",
+             "thread_local outside src/exec/: per-thread state belongs to "
+             "the executor, not scan logic (DESIGN.md §9)"});
+      }
+      continue;
+    }
+    if (text.rfind("pthread_", 0) == 0) {
+      if (!in_thread_pool) {
+        findings.push_back(
+            {path, line, "concurrency-confinement",
+             std::string(text) + " bypasses the audited pool; threads are "
+             "created only in src/exec/thread_pool.cpp (DESIGN.md §9)"});
+      }
+      continue;
+    }
+
+    const bool std_qualified = i >= 2 && toks[i - 1].text == "::" &&
+                               toks[i - 2].text == "std";
+    if (!std_qualified) continue;
+
+    if (in(kThreadTypes, text)) {
+      // `std::thread::hardware_concurrency()` is a static query, not a
+      // thread; only naming the type itself counts as creation/ownership.
+      const bool static_member =
+          i + 1 < toks.size() && toks[i + 1].text == "::";
+      if (!static_member && !in_thread_pool) {
+        findings.push_back(
+            {path, line, "concurrency-confinement",
+             "std::" + std::string(text) + " outside src/exec/thread_pool: "
+             "all threads come from the audited pool so shutdown, sharding, "
+             "and the byte-identical merge stay provable (DESIGN.md §9)"});
+      }
+      continue;
+    }
+    if (in(kHandoffTypes, text)) {
+      findings.push_back(
+          {path, line, "concurrency-confinement",
+           "std::" + std::string(text) + " is banned: exec::BoundedChannel "
+           "is the only audited cross-thread hand-off type (DESIGN.md §9)"});
+      continue;
+    }
+    if (in(kSyncTypes, text) && !in_exec) {
+      findings.push_back(
+          {path, line, "concurrency-confinement",
+           "std::" + std::string(text) + " outside src/exec/: "
+           "synchronization primitives are confined to the executor; "
+           "elsewhere they hide sharing that breaks the deterministic "
+           "merge (DESIGN.md §9)"});
+    }
+  }
+}
+
+}  // namespace
+
+void run_dataflow_rules(const std::vector<SourceFile>& files,
+                        const std::vector<ScanResult>& scans,
+                        const SymbolTable& symbols,
+                        std::vector<Finding>& findings, DataflowStats* stats) {
+  DataflowStats local;
+
+  for (const auto& def : symbols.defs) {
+    if (def.file_index >= files.size() || def.file_index >= scans.size())
+      continue;
+    if (def.body_begin >= def.body_end) continue;
+    ++local.functions;
+    FunctionTaint(files[def.file_index], scans[def.file_index], def, findings,
+                  local)
+        .run();
+  }
+
+  for (std::size_t f = 0; f < files.size() && f < scans.size(); ++f) {
+    if (files[f].path.rfind("src/", 0) != 0) continue;
+    check_concurrency(files[f], scans[f], findings);
+  }
+
+  for (const auto& global : symbols.globals) {
+    findings.push_back(
+        {global.file, global.line, "concurrency-confinement",
+         "mutable namespace-scope state '" + global.name + "' is banned "
+         "tree-wide: shared globals break the byte-identical sharded-merge "
+         "guarantee; pass state through a context object or make it "
+         "const/constexpr (DESIGN.md §9)"});
+  }
+
+  if (stats != nullptr) *stats = local;
+}
+
+}  // namespace iwscan::lint

@@ -1,0 +1,61 @@
+// Per-function dataflow layer: the intra-procedural half of iwlint's
+// whole-program analysis, built on the shared symbol index (symbols.hpp).
+//
+// Two rule families run here:
+//
+//   wire-taint               values read off the wire (WireReader::u8/u16/
+//                            u24/u32, subscripts into byte-span parameters,
+//                            decoded header length fields) are tainted; a
+//                            tainted value may not flow through local
+//                            assignments and arithmetic into a container
+//                            resize/reserve, a subscript index, a span
+//                            slice, a loop bound, or a WireWriter patch
+//                            offset until a sanitizing guard intervenes
+//                            (WireReader::require, a comparison against a
+//                            size()/remaining() bound or a constant, or a
+//                            std::min/std::clamp). Findings print the
+//                            def→use chain the same way hot-path prints
+//                            call chains.
+//   concurrency-confinement  thread creation lives in src/exec/thread_pool
+//                            only; mutexes, atomics, and thread_local live
+//                            in src/exec/ only; std::future/promise/async
+//                            and friends are banned everywhere (the only
+//                            cross-thread hand-off type is
+//                            exec::BoundedChannel); mutable namespace-scope
+//                            state is banned tree-wide.
+//
+// The taint analysis is a single linear forward pass per function body over
+// the token stream: statement-level, flow-insensitive across branches, no
+// fixpoint over loop back-edges, no aliasing, no inter-procedural flow (an
+// out-parameter written by a callee comes back clean). Those blind spots
+// are deliberate — they keep the whole-tree run inside the two-second
+// budget — and are documented in DESIGN.md §9.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "iwlint.hpp"
+#include "symbols.hpp"
+#include "tokens.hpp"
+
+namespace iwscan::lint {
+
+/// Size of the dataflow analysis, for --json visibility.
+struct DataflowStats {
+  std::size_t functions = 0;      // function bodies analyzed
+  std::size_t taint_sources = 0;  // wire reads observed introducing taint
+  std::size_t taint_sinks = 0;    // sink sites checked
+  std::size_t taint_guards = 0;   // sanitization events
+};
+
+/// Run both intra-procedural rule families over the src/ subset of
+/// `files`, appending raw findings (suppressions are applied by the
+/// caller). `scans` is the per-file tokenization parallel to `files`;
+/// `symbols` the index built by extract_symbols over the same vectors.
+void run_dataflow_rules(const std::vector<SourceFile>& files,
+                        const std::vector<ScanResult>& scans,
+                        const SymbolTable& symbols,
+                        std::vector<Finding>& findings, DataflowStats* stats);
+
+}  // namespace iwscan::lint

@@ -12,6 +12,8 @@
 #include <sstream>
 
 #include "callgraph.hpp"
+#include "dataflow.hpp"
+#include "symbols.hpp"
 #include "tokens.hpp"
 
 namespace iwscan::lint {
@@ -597,7 +599,7 @@ const std::vector<std::string>& rule_names() {
   static const std::vector<std::string> names = {
       "layering",      "byte-bridge",    "banned-call", "wire-enum-default",
       "header-hygiene", "determinism",   "hot-path",    "determinism-taint",
-      "suppression",
+      "wire-taint",    "concurrency-confinement", "suppression",
   };
   return names;
 }
@@ -678,6 +680,40 @@ std::string_view rule_explanation(std::string_view rule) {
            "would silently break replayable sweeps. Boundaries do not stop "
            "this traversal: determinism must hold through every layer.";
   }
+  if (rule == "wire-taint") {
+    return "Intra-procedural dataflow rule. Values read off the wire — "
+           "WireReader::u8/u16/u24/u32, subscript reads from byte-span "
+           "parameters (std::span<const std::uint8_t>, net::PacketView, "
+           "net::Bytes), and decoded header length/offset fields "
+           "(total_length, fragment_offset, data_offset, urgent, "
+           "seq_or_mtu, id_or_unused) — are tainted. Taint propagates "
+           "through local assignments and arithmetic, statement by "
+           "statement, and may not reach a container resize/reserve, a "
+           "subscript index, a span subspan/first/last, a loop bound, or a "
+           "WireWriter patch offset until a sanitizing guard intervenes: "
+           "WireReader::require(), a conditional comparing the value "
+           "against size()/remaining()/sizeof/a constant, or a "
+           "std::min/std::clamp. Findings print the def→use chain. The "
+           "pass is one linear forward walk per function: no fixpoint over "
+           "loop back-edges, no branch-path sensitivity, no aliasing, and "
+           "no inter-procedural flow (out-parameters come back clean) — "
+           "blind spots documented in DESIGN.md §9.";
+  }
+  if (rule == "concurrency-confinement") {
+    return "Threading discipline, statically enforced. Thread creation "
+           "(std::thread/std::jthread/pthread_create) is confined to "
+           "src/exec/thread_pool.*; synchronization primitives "
+           "(std::mutex and variants, std::atomic, condition variables, "
+           "lock types, thread_local) are confined to src/exec/; "
+           "std::future/promise/async/latch/barrier/semaphores are banned "
+           "everywhere because exec::BoundedChannel is the only audited "
+           "cross-thread hand-off type; and mutable namespace-scope state "
+           "is banned tree-wide — shared globals are invisible cross-shard "
+           "coupling that would break the byte-identical sharded-merge "
+           "guarantee. const/constexpr globals are exempt; justified "
+           "suppressions cover the audited exceptions (the allocation "
+           "counter in util/alloc_stats.hpp).";
+  }
   if (rule == "suppression") {
     return "Findings are silenced inline with the iwlint marker comment "
            "followed by 'allow(<rule>) -- <reason>'. The justification is "
@@ -707,8 +743,15 @@ std::vector<Finding> lint_files(const std::vector<SourceFile>& files,
   std::vector<Finding> kept;
   std::map<std::string_view, Suppressions> suppressions_by_file;
 
-  for (const auto& file : files) {
-    const ScanResult scan = tokenize(file.content);
+  // Tokenize once: the per-TU rules, the symbol index, and both
+  // whole-program passes all pattern-match the same scan.
+  std::vector<ScanResult> scans;
+  scans.reserve(files.size());
+  for (const auto& file : files) scans.push_back(tokenize(file.content));
+
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    const SourceFile& file = files[f];
+    const ScanResult& scan = scans[f];
     const FileClass fc = classify(file.path);
 
     std::vector<Finding> findings;
@@ -724,11 +767,16 @@ std::vector<Finding> lint_files(const std::vector<SourceFile>& files,
     suppressions_by_file.emplace(file.path, std::move(suppressions));
   }
 
-  const bool want_program = !rule_disabled(options, "hot-path") ||
-                            !rule_disabled(options, "determinism-taint");
-  if (want_program || stats != nullptr) {
+  const bool want_dataflow = !rule_disabled(options, "wire-taint") ||
+                             !rule_disabled(options, "concurrency-confinement");
+  const bool want_graph = !rule_disabled(options, "hot-path") ||
+                          !rule_disabled(options, "determinism-taint");
+  if (want_dataflow || want_graph || stats != nullptr) {
     std::vector<Finding> program;
-    run_program_rules(files, program, stats);
+    SymbolTable symbols = extract_symbols(files, scans);
+    run_dataflow_rules(files, scans, symbols, program,
+                       stats != nullptr ? &stats->dataflow : nullptr);
+    run_callgraph_rules(std::move(symbols), program, stats);
     for (auto& finding : program) {
       if (rule_disabled(options, finding.rule)) continue;
       const auto it = suppressions_by_file.find(finding.file);
@@ -807,6 +855,44 @@ std::string format_json(const std::vector<Finding>& findings) {
            json_escape(findings[i].message) + "\"}";
   }
   out += findings.empty() ? "]\n" : "\n]\n";
+  return out;
+}
+
+std::string format_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": \"iwlint\",\n";
+  out += "          \"informationUri\": "
+         "\"https://example.invalid/iwscan/DESIGN.md\",\n";
+  out += "          \"rules\": [\n";
+  const auto& names = rule_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += "            {\"id\": \"" + json_escape(names[i]) +
+           "\", \"shortDescription\": {\"text\": \"" + json_escape(names[i]) +
+           "\"}, \"fullDescription\": {\"text\": \"" +
+           json_escape(rule_explanation(names[i])) + "\"}}";
+  }
+  out += "\n          ]\n        }\n      },\n";
+  out += "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) out += ",\n";
+    const Finding& finding = findings[i];
+    out += "        {\"ruleId\": \"" + json_escape(finding.rule) +
+           "\", \"level\": \"error\", \"message\": {\"text\": \"" +
+           json_escape(finding.message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(finding.file) +
+           "\", \"uriBaseId\": \"%SRCROOT%\"}, \"region\": {\"startLine\": " +
+           std::to_string(finding.line > 0 ? finding.line : 1) + "}}}]}";
+  }
+  out += findings.empty() ? "      ]\n" : "\n      ]\n";
+  out += "    }\n  ]\n}\n";
   return out;
 }
 

@@ -79,4 +79,9 @@ struct ProgramStats;  // callgraph.hpp
 [[nodiscard]] std::string format_text(const Finding& finding);
 [[nodiscard]] std::string format_json(const std::vector<Finding>& findings);
 
+/// SARIF 2.1.0 log for GitHub code scanning: one run, one result per
+/// finding (level "error", repo-relative uri under %SRCROOT%), with every
+/// registered rule and its --explain text in the tool.driver.rules table.
+[[nodiscard]] std::string format_sarif(const std::vector<Finding>& findings);
+
 }  // namespace iwscan::lint

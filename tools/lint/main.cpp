@@ -1,17 +1,28 @@
 // iwlint CLI. Exit codes: 0 = clean, 1 = findings, 2 = usage/I-O error.
 //
-//   iwlint [--root <dir>] [--json] [--disable <rule>[,<rule>...]]
+//   iwlint [--root <dir>] [--json] [--sarif <path>]
+//          [--disable <rule>[,<rule>...]] [--only <rule>[,<rule>...]]
 //          [--explain <rule>] [paths...]
 //
 // Paths default to the directories the repo lints in CI: src tests bench
 // examples tools. Run from the repo root, or point --root at it.
 //
-// --json emits an object: the findings array plus the call-graph stats and
-// the whole-tree wall time ("elapsed_ms") — CI's bench guard keys off the
-// latter to keep the cross-TU analysis under its two-second budget.
+// --json emits an object: schema_version, the findings array, the
+// call-graph and dataflow stats, and the whole-tree wall time
+// ("elapsed_ms") — CI's bench guard keys off the latter to keep the
+// cross-TU analysis under its two-second budget.
+//
+// --sarif writes a SARIF 2.1.0 log to <path> (always, even when clean) so
+// CI can upload findings as GitHub code-scanning annotations.
+//
+// --only inverts --disable: run just the listed rules. CI's self-lint
+// step uses it to hold tools/ and examples/ to the relaxed profile
+// (layering + banned-call + header-hygiene). Suppression hygiene is
+// always checked.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -23,7 +34,8 @@ namespace {
 
 void usage(std::FILE* out) {
   std::fprintf(out,
-               "usage: iwlint [--root <dir>] [--json] [--disable <rule>[,...]] "
+               "usage: iwlint [--root <dir>] [--json] [--sarif <path>] "
+               "[--disable <rule>[,...]] [--only <rule>[,...]] "
                "[--explain <rule>] [paths...]\n\nrules:\n");
   for (const auto& name : iwscan::lint::rule_names()) {
     std::fprintf(out, "  %s\n", name.c_str());
@@ -55,12 +67,19 @@ int explain(std::string_view rule) {
   return 0;
 }
 
+bool known_rule(const std::string& rule) {
+  const auto& known = iwscan::lint::rule_names();
+  return std::find(known.begin(), known.end(), rule) != known.end();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
   bool json = false;
+  std::string sarif_path;
   iwscan::lint::Options options;
+  std::vector<std::string> only;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -75,10 +94,18 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg.substr(0, 7) == "--root=") {
       root = std::string(arg.substr(7));
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg.substr(0, 8) == "--sarif=") {
+      sarif_path = std::string(arg.substr(8));
     } else if (arg == "--disable" && i + 1 < argc) {
       split_rules(argv[++i], options.disabled_rules);
     } else if (arg.substr(0, 10) == "--disable=") {
       split_rules(arg.substr(10), options.disabled_rules);
+    } else if (arg == "--only" && i + 1 < argc) {
+      split_rules(argv[++i], only);
+    } else if (arg.substr(0, 7) == "--only=") {
+      split_rules(arg.substr(7), only);
     } else if (arg == "--explain" && i + 1 < argc) {
       return explain(argv[++i]);
     } else if (arg.substr(0, 10) == "--explain=") {
@@ -92,10 +119,25 @@ int main(int argc, char** argv) {
     }
   }
   for (const auto& rule : options.disabled_rules) {
-    const auto& known = iwscan::lint::rule_names();
-    if (std::find(known.begin(), known.end(), rule) == known.end()) {
+    if (!known_rule(rule)) {
       std::fprintf(stderr, "iwlint: unknown rule '%s' in --disable\n", rule.c_str());
       return 2;
+    }
+  }
+  for (const auto& rule : only) {
+    if (!known_rule(rule)) {
+      std::fprintf(stderr, "iwlint: unknown rule '%s' in --only\n", rule.c_str());
+      return 2;
+    }
+  }
+  if (!only.empty()) {
+    // --only = disable the complement. Suppression hygiene stays on: a
+    // malformed or unjustified suppression is a finding in any profile.
+    for (const auto& rule : iwscan::lint::rule_names()) {
+      if (rule == "suppression") continue;
+      if (std::find(only.begin(), only.end(), rule) == only.end()) {
+        options.disabled_rules.push_back(rule);
+      }
     }
   }
   if (paths.empty()) paths = {"src", "tests", "bench", "examples", "tools"};
@@ -119,15 +161,28 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "iwlint: %s\n", error.c_str());
   }
 
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "iwlint: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+    out << iwscan::lint::format_sarif(findings);
+  }
+
   if (json) {
-    std::fputs("{\n\"findings\": ", stdout);
+    std::fputs("{\n\"schema_version\": 2,\n\"findings\": ", stdout);
     std::fputs(iwscan::lint::format_json(findings).c_str(), stdout);
     std::fprintf(stdout,
                  ",\n\"files\": %zu,\n\"functions\": %zu,\n\"call_edges\": %zu,"
                  "\n\"hot_roots\": %zu,\n\"taint_roots\": %zu,"
+                 "\n\"dataflow\": {\"functions\": %zu, \"taint_sources\": %zu, "
+                 "\"taint_sinks\": %zu, \"taint_guards\": %zu},"
                  "\n\"elapsed_ms\": %lld\n}\n",
                  stats.files, stats.functions, stats.call_edges, stats.hot_roots,
-                 stats.taint_roots, elapsed_ms);
+                 stats.taint_roots, stats.dataflow.functions,
+                 stats.dataflow.taint_sources, stats.dataflow.taint_sinks,
+                 stats.dataflow.taint_guards, elapsed_ms);
   } else {
     for (const auto& finding : findings) {
       std::fprintf(stdout, "%s\n", iwscan::lint::format_text(finding).c_str());

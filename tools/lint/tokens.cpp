@@ -23,6 +23,11 @@ ScanResult tokenize(std::string_view src) {
     out.code_lines.insert(at_line);
     if (out.first_code_line == 0) out.first_code_line = at_line;
   };
+  // Multiline literals (raw strings, backslash-continued strings) occupy
+  // every line they span; suppression targeting needs them all marked.
+  auto note_code_range = [&](int from_line, int to_line) {
+    for (int l = from_line; l <= to_line; ++l) note_code(l);
+  };
 
   auto skip_string = [&](char quote) {
     // i points at the opening quote.
@@ -111,18 +116,24 @@ ScanResult tokenize(std::string_view src) {
     at_line_start = false;
 
     // String / char literals (incl. raw strings via their encoding prefix).
+    // A literal spanning lines (backslash continuation) is attributed to
+    // its START line — the same convention block comments use — so rules
+    // and suppressions see the line a reader would point at.
     if (c == '"') {
       const std::size_t start = i;
+      const int start_line = line;
       skip_string('"');
-      out.tokens.push_back({TokKind::Str, src.substr(start, i - start), line});
-      note_code(line);
+      out.tokens.push_back({TokKind::Str, src.substr(start, i - start), start_line});
+      note_code_range(start_line, line);
       continue;
     }
     if (c == '\'') {
       const std::size_t start = i;
+      const int start_line = line;
       skip_string('\'');
-      out.tokens.push_back({TokKind::CharLit, src.substr(start, i - start), line});
-      note_code(line);
+      out.tokens.push_back(
+          {TokKind::CharLit, src.substr(start, i - start), start_line});
+      note_code_range(start_line, line);
       continue;
     }
 
@@ -133,7 +144,10 @@ ScanResult tokenize(std::string_view src) {
       const bool raw_prefix = (word == "R" || word == "u8R" || word == "uR" ||
                                word == "UR" || word == "LR");
       if (raw_prefix && i < src.size() && src[i] == '"') {
-        // Raw string: R"delim( ... )delim".
+        // Raw string: R"delim( ... )delim". The token carries its START
+        // line (multiline raw strings are common in tests and tables);
+        // the line counter still advances past every embedded newline.
+        const int start_line = line;
         ++i;
         const std::size_t delim_start = i;
         while (i < src.size() && src[i] != '(') ++i;
@@ -145,12 +159,13 @@ ScanResult tokenize(std::string_view src) {
             (end == std::string_view::npos) ? src.size() : end + terminator.size();
         line += static_cast<int>(std::count(src.begin() + static_cast<long>(start),
                                             src.begin() + static_cast<long>(stop), '\n'));
-        out.tokens.push_back({TokKind::Str, src.substr(start, stop - start), line});
+        out.tokens.push_back({TokKind::Str, src.substr(start, stop - start), start_line});
         i = stop;
+        note_code_range(start_line, line);
       } else {
         out.tokens.push_back({TokKind::Ident, word, line});
+        note_code(line);
       }
-      note_code(line);
       continue;
     }
 

@@ -9,6 +9,11 @@
 // projection here is packets-based: we measure packets-per-responder in
 // the simulation and combine it with the paper's real-world responder
 // density (48.3 M of ~3.7 B probed addresses ≈ 1.3%).
+// This binary's one allocation-counting TU (see util/alloc_stats.hpp):
+// the stateless-sweep section reports an allocs_per_packet counter.
+#define IWSCAN_COUNT_ALLOCATIONS
+#include "util/alloc_stats.hpp"
+
 #include "bench_common.hpp"
 
 #include <charconv>
@@ -16,7 +21,9 @@
 #include <vector>
 
 #include "analysis/iw_table.hpp"
+#include "scanner/stateless.hpp"
 #include "scanner/syn_scan.hpp"
+#include "scanner/syncookie.hpp"
 #include "util/stopwatch.hpp"
 
 using namespace iwscan;
@@ -219,6 +226,123 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(last.shards), first.records,
               last.records);
 
+  // Stateless fast-path tier (phase 1 of the two-phase scan): one SYN per
+  // address, identity in the ISN, replies answered from patched templates.
+  // Throughput is measured over the same lazily-materialized world the
+  // stateful scans above ran on, so the rates are directly comparable.
+  struct SweepOutcome {
+    scan::SweepStats stats;
+    std::uint64_t events = 0;
+    double seconds = 0.0;
+  } sweep_outcome;
+  {
+    auto fresh = bench::make_world(flags);
+    scan::SweepConfig config;
+    config.seed = flags.u64("scan-seed");
+    scan::StatelessSweep sweep(
+        *fresh.network, config,
+        scan::TargetGenerator(fresh.internet->registry().scan_space(), {},
+                              config.seed),
+        [&](const scan::SweepEvent&) { ++sweep_outcome.events; });
+    util::Stopwatch watch;
+    sweep.start();
+    while (!sweep.done() && fresh.loop.step()) {
+    }
+    sweep_outcome.seconds = watch.elapsed_seconds();
+    sweep_outcome.stats = sweep.stats();
+  }
+  const auto wall_rate = [](std::uint64_t items, double seconds) {
+    return seconds > 0 ? static_cast<double>(items) / seconds : 0.0;
+  };
+  const double sweep_rate =
+      wall_rate(sweep_outcome.stats.targets_probed, sweep_outcome.seconds);
+  const double iw_rate = wall_rate(iw.engine.targets_started, iw_wall_seconds);
+
+  // Hot-path allocation audit, isolated from the world model (which
+  // legitimately allocates when it materializes hosts): a dark sweep
+  // primes templates and pools, then pre-encoded SYN-ACK and first-flight
+  // data segments are fed straight into handle_packet. After warm-up the
+  // transmit (template patch + pool) and receive (parse + cookie + answer)
+  // paths must both run allocation-free.
+  double sweep_allocs_per_packet = 0.0;
+  {
+    sim::EventLoop loop;
+    sim::Network network(loop, 9);
+    scan::SweepConfig config;
+    config.seed = 11;
+    config.cooldown = sim::msec(1);
+    const net::Cidr space = *net::Cidr::parse("10.50.0.0/24");
+    std::uint64_t events = 0;
+    scan::StatelessSweep sweep(network, config,
+                               scan::TargetGenerator({space}, {}, config.seed),
+                               [&](const scan::SweepEvent&) { ++events; });
+    sweep.start();
+    while (!sweep.done() && loop.step()) {
+    }
+    scan::SynCookieCodec codec(config.seed);
+    scan::TargetGenerator replay({space}, {}, config.seed);
+    std::vector<net::Bytes> replies;
+    while (const auto addr = replay.next()) {
+      scan::CookieIdentity identity;
+      identity.index = replay.last_cycle_index();
+      const std::uint32_t cookie = codec.pack(identity, *addr);
+      net::TcpSegment reply;
+      reply.ip.src = *addr;
+      reply.ip.dst = config.scanner_address;
+      reply.tcp.src_port = config.target_port;
+      reply.tcp.dst_port = config.source_port;
+      reply.tcp.seq = 0x1000 + static_cast<std::uint32_t>(identity.index);
+      reply.tcp.ack = cookie + 1;
+      reply.tcp.flags = net::kSyn | net::kAck;
+      reply.tcp.window = 65535;
+      replies.push_back(net::encode(reply));
+      reply.tcp.flags = net::kAck | net::kPsh;
+      reply.tcp.ack =
+          cookie + 1 + static_cast<std::uint32_t>(config.request.size());
+      reply.payload = net::to_bytes("HTTP/1.1 200 OK\r\n");
+      replies.push_back(net::encode(reply));
+    }
+    const auto feed = [&] {
+      for (const net::Bytes& packet : replies) {
+        sweep.handle_packet(net::PacketView(packet.data(), packet.size()));
+      }
+      while (loop.step()) {  // drain the answered ACKs/RSTs (unroutable)
+      }
+    };
+    // Warm-up: grows pools, the event-loop slab, and — because each round
+    // lands its delivery burst in a different timer-wheel bucket — every
+    // bucket's recycled vector capacity (one wheel revolution is 64
+    // buckets; 200 rounds covers all of them with margin).
+    for (int round = 0; round < 200; ++round) feed();
+    const std::uint64_t before = util::alloc_stats::allocations();
+    constexpr int kRounds = 50;
+    for (int round = 0; round < kRounds; ++round) feed();
+    const std::uint64_t delta = util::alloc_stats::allocations() - before;
+    sweep_allocs_per_packet = static_cast<double>(delta) /
+                              static_cast<double>(kRounds * replies.size());
+  }
+
+  std::printf("\n");
+  analysis::TextTable tiers({"Tier", "targets", "packets tx", "wall time",
+                             "targets/s (wall)"});
+  std::snprintf(buf, sizeof(buf), "%.2f s", iw_wall_seconds);
+  char rate_buf[64];
+  std::snprintf(rate_buf, sizeof(rate_buf), "%.0f", iw_rate);
+  tiers.add_row({"stateful IW estimator",
+                 util::format_count(iw.engine.targets_started),
+                 util::format_count(iw.engine.packets_sent), buf, rate_buf});
+  std::snprintf(buf, sizeof(buf), "%.2f s", sweep_outcome.seconds);
+  std::snprintf(rate_buf, sizeof(rate_buf), "%.0f", sweep_rate);
+  tiers.add_row({"stateless sweep (phase 1)",
+                 util::format_count(sweep_outcome.stats.targets_probed),
+                 util::format_count(sweep_outcome.stats.packets_sent), buf,
+                 rate_buf});
+  bench::print_table(tiers, flags.boolean("csv"));
+  std::printf("stateless/stateful rate ratio: %.1fx (two-phase design target: "
+              ">=3x)\nsweep hot-path allocations/packet: %.4f (target: ~0)\n",
+              iw_rate > 0 ? sweep_rate / iw_rate : 0.0,
+              sweep_allocs_per_packet);
+
   if (!flags.str("json").empty()) {
     std::FILE* out = std::fopen(flags.str("json").c_str(), "w");
     if (out == nullptr) {
@@ -264,6 +388,27 @@ int main(int argc, char** argv) {
                        : 0.0,
                    i + 1 < sweeps.size() ? "," : "");
     }
+    std::fprintf(out, "  ],\n");
+    std::fprintf(out,
+                 "  \"stateless_sweep\": {\"targets\": %llu, \"packets_sent\": "
+                 "%llu, \"responsive\": %llu, \"banners\": %llu, "
+                 "\"wall_seconds\": %.6f},\n",
+                 static_cast<unsigned long long>(sweep_outcome.stats.targets_probed),
+                 static_cast<unsigned long long>(sweep_outcome.stats.packets_sent),
+                 static_cast<unsigned long long>(sweep_outcome.stats.responsive),
+                 static_cast<unsigned long long>(sweep_outcome.stats.banners),
+                 sweep_outcome.seconds);
+    // The regression-checker contract (tools/perf/check_bench_regression.py):
+    // rate floors and allocation ceilings, keyed by name.
+    std::fprintf(out, "  \"benchmarks\": [\n");
+    std::fprintf(out,
+                 "    {\"name\": \"stateless_sweep_rate\", "
+                 "\"items_per_second\": %.1f, \"allocs_per_packet\": %.6f},\n",
+                 sweep_rate, sweep_allocs_per_packet);
+    std::fprintf(out,
+                 "    {\"name\": \"stateful_iw_scan_rate\", "
+                 "\"items_per_second\": %.1f}\n",
+                 iw_rate);
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
   }

@@ -22,10 +22,27 @@ ScanOutput run_iw_scan(sim::Network& network, model::InternetModel& internet,
   job.progress = options.progress;
   job.progress_interval = options.progress_interval;
 
+  ScanOutput output;
+  if (options.two_phase) {
+    exec::TwoPhaseJob two_phase;
+    two_phase.scan = std::move(job);
+    two_phase.sweep_rate_pps = options.sweep_rate_pps;
+    two_phase.max_promoted_hosts = options.max_promoted_hosts;
+    exec::TwoPhaseRunner runner(std::move(two_phase));
+    exec::TwoPhaseResult result = runner.run(network, internet);
+    output.records = std::move(result.records);
+    output.engine = result.engine;
+    output.duration = result.duration;
+    output.address_space = result.address_space;
+    output.sweep_records = std::move(result.sweep_records);
+    output.sweep = result.sweep;
+    output.promoted = result.promoted;
+    output.truncated = result.truncated;
+    return output;
+  }
+
   exec::ParallelScanRunner runner(std::move(job));
   exec::ScanResult result = runner.run(network, internet);
-
-  ScanOutput output;
   output.records = std::move(result.records);
   output.engine = result.engine;
   output.duration = result.duration;

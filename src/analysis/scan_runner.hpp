@@ -7,6 +7,7 @@
 
 #include "core/host_prober.hpp"
 #include "exec/parallel_runner.hpp"
+#include "exec/two_phase.hpp"
 #include "inetmodel/internet.hpp"
 #include "scanner/scan_engine.hpp"
 
@@ -28,6 +29,15 @@ struct ScanOptions {
   std::uint64_t shards = 1;
   exec::ProgressFn progress;               // optional live-progress callback
   std::uint64_t progress_interval = 1024;  // merged records between snapshots
+  // Two-phase mode (exec::TwoPhaseRunner): a stateless ZBanner-style sweep
+  // covers the whole space first and only responsive hosts are promoted
+  // into the stateful IW estimator. Output records are byte-identical to a
+  // stateful-everywhere scan restricted to the responsive set.
+  bool two_phase = false;
+  double sweep_rate_pps = 600'000;  // phase-1 SYN rate (global)
+  // >0 caps phase 2 at the K responsive hosts with the lowest global
+  // permutation-cycle indices (deterministic truncation, any shard count).
+  std::uint64_t max_promoted_hosts = 0;
 };
 
 struct ScanOutput {
@@ -35,6 +45,11 @@ struct ScanOutput {
   scan::EngineStats engine;
   sim::SimTime duration{};
   std::uint64_t address_space = 0;  // size of the allowlist
+  // Two-phase mode only (empty/zero otherwise):
+  std::vector<scan::SweepRecord> sweep_records;  // phase-1 output, cycle order
+  scan::SweepStats sweep;
+  std::uint64_t promoted = 0;   // responsive hosts handed to phase 2
+  std::uint64_t truncated = 0;  // responsive hosts dropped by the cap
 };
 
 /// Runs the scan to completion on the network's event loop.

@@ -1,0 +1,84 @@
+// Two-phase scan executor: stateless sweep feeding the stateful estimator.
+//
+// The paper's stateful probe sessions are what make IW measurement possible,
+// but they are also the scan's scarce resource — each one holds connection
+// state, timers and a session budget for tens of virtual seconds. Probing
+// the whole address space that way spends the expensive tier on the ~95% of
+// addresses that never answer. The two-phase executor splits the work the
+// way ZBanner splits it (PAPERS.md):
+//
+//   phase 1  StatelessSweep walks the entire space at a much higher rate
+//            with zero per-host state (scanner/stateless.hpp), harvesting
+//            liveness, the SYN-ACK window/MSS and a first-flight banner;
+//   phase 2  only the responsive hosts are promoted into the stateful
+//            ScanEngine, which runs the full IW probe sequence against
+//            each (core::IwProbeModule).
+//
+// Promotion is streamed: responsive hosts flow through a bounded queue into
+// the engine while the sweep is still running (backpressure throttles the
+// sweep, never the reverse), so the scan pipeline has no global barrier.
+// With ScanOptions::max_promoted_hosts set, promotion instead becomes a
+// deterministic global truncation — the K responsive hosts with the lowest
+// permutation-cycle indices, regardless of shard count — which requires the
+// sweep to finish first (capped mode trades the barrier for a hard phase-2
+// budget).
+//
+// Output determinism is the same contract as ParallelScanRunner: both the
+// sweep records and the IW records are merged in global permutation-cycle
+// order, and their content is byte-identical for any shard count. The sweep
+// tier keeps its side of that bargain by scanning from its own source
+// address (disjoint per-flow impairment streams and host connection keys),
+// so running phase 1 first cannot perturb what phase 2 observes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exec/parallel_runner.hpp"
+#include "inetmodel/internet.hpp"
+#include "scanner/stateless.hpp"
+
+namespace iwscan::exec {
+
+struct TwoPhaseJob {
+  /// Phase-2 parameters plus everything the phases share (address space,
+  /// blocklist, scan seed, sample fraction, shard count, progress hook).
+  /// The sweep probes scan.probe.port and reuses scan.scan_seed for its
+  /// cookie key and target permutation.
+  ScanJob scan;
+  /// Phase-1 SYN rate (global; divided across shards like scan.rate_pps).
+  double sweep_rate_pps = 600'000;
+  /// 0 = promote every responsive host, streaming them into phase 2 while
+  /// the sweep runs. >0 = cap phase 2 at the K responsive hosts with the
+  /// lowest global cycle indices (deterministic truncation; the sweep then
+  /// completes before phase 2 starts).
+  std::uint64_t max_promoted_hosts = 0;
+};
+
+struct TwoPhaseResult {
+  std::vector<scan::SweepRecord> sweep_records;  // permutation-cycle order
+  scan::SweepStats sweep;                        // summed over shards
+  std::vector<core::HostScanRecord> records;     // phase-2 output, cycle order
+  scan::EngineStats engine;                      // summed over shards
+  sim::SimTime duration{};                       // virtual time, both phases
+  std::uint64_t address_space = 0;               // allowlist size, post-merge
+  std::uint64_t promoted = 0;   // responsive hosts handed to phase 2
+  std::uint64_t truncated = 0;  // responsive hosts dropped by the cap
+};
+
+class TwoPhaseRunner {
+ public:
+  explicit TwoPhaseRunner(TwoPhaseJob job) : job_(std::move(job)) {}
+
+  /// Runs both phases to completion. Worlds are used exactly as in
+  /// ParallelScanRunner::run — shards<=1 executes on the caller's world,
+  /// shards>1 builds identically-seeded private worlds per worker — and in
+  /// every mode a worker's phase 2 runs on the same world its phase 1
+  /// swept, so the shard count never changes what a host has seen.
+  [[nodiscard]] TwoPhaseResult run(sim::Network& network, model::InternetModel& internet);
+
+ private:
+  TwoPhaseJob job_;
+};
+
+}  // namespace iwscan::exec

@@ -47,4 +47,34 @@ class ChecksumAccumulator {
 [[nodiscard]] std::uint16_t tcp_checksum(IPv4Address src, IPv4Address dst,
                                          std::span<const std::uint8_t> segment) noexcept;
 
+/// Incremental checksum update (RFC 1624 eqn. 3): the checksum of a packet
+/// after one 16-bit word changes from `old_word` to `new_word`, without
+/// re-summing the packet. The stateless sweep patches precomputed packet
+/// templates (destination address, seq/ack) per target this way, so its
+/// hot path touches a handful of words instead of the whole frame. All
+/// values are host-order, matching tcp_checksum()/internet_checksum().
+[[nodiscard]] constexpr std::uint16_t checksum_update16(
+    std::uint16_t checksum, std::uint16_t old_word, std::uint16_t new_word) noexcept {
+  // HC' = ~(~HC + ~m + m'), with end-around carry folds. Two folds suffice:
+  // three 16-bit terms sum below 3 * 0xffff, so one fold leaves at most one
+  // carry bit for the second.
+  std::uint32_t sum = static_cast<std::uint16_t>(~checksum);
+  sum += static_cast<std::uint16_t>(~old_word);
+  sum += new_word;
+  sum = (sum & 0xffff) + (sum >> 16);
+  sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+/// 32-bit convenience over checksum_update16: updates for one big-endian
+/// 32-bit field (an IPv4 address, a TCP sequence number) changing value.
+[[nodiscard]] constexpr std::uint16_t checksum_update32(
+    std::uint16_t checksum, std::uint32_t old_word, std::uint32_t new_word) noexcept {
+  const std::uint16_t high =
+      checksum_update16(checksum, static_cast<std::uint16_t>(old_word >> 16),
+                        static_cast<std::uint16_t>(new_word >> 16));
+  return checksum_update16(high, static_cast<std::uint16_t>(old_word),
+                           static_cast<std::uint16_t>(new_word));
+}
+
 }  // namespace iwscan::net

@@ -8,15 +8,26 @@ ScanEngine::ScanEngine(sim::Network& network, EngineConfig config,
                        TargetGenerator targets, ProbeModule& module)
     : network_(network),
       config_(config),
-      targets_(std::move(targets)),
+      owned_source_(std::make_unique<GeneratorTargetSource>(std::move(targets))),
+      source_(owned_source_.get()),
       module_(module) {
   // Session/draw maps never exceed the outstanding window, and the fabric
   // instantiates at most one endpoint per in-flight target plus whatever
   // is already attached — reserve both up front so the steady-state scan
   // loop never rehashes (ScanOptions::max_outstanding flows in via
   // EngineConfig; the allowlist bounds it for small worlds).
-  const std::size_t hint = static_cast<std::size_t>(std::min<std::uint64_t>(
-      config_.max_outstanding, targets_.address_space_size()));
+  const std::size_t hint = static_cast<std::size_t>(
+      std::min<std::uint64_t>(config_.max_outstanding, source_->size_hint()));
+  sessions_.reserve(hint);
+  draws_.reserve(hint);
+  network_.reserve_endpoints(hint);
+}
+
+ScanEngine::ScanEngine(sim::Network& network, EngineConfig config,
+                       TargetSource& source, ProbeModule& module)
+    : network_(network), config_(config), source_(&source), module_(module) {
+  const std::size_t hint = static_cast<std::size_t>(
+      std::min<std::uint64_t>(config_.max_outstanding, source_->size_hint()));
   sessions_.reserve(hint);
   draws_.reserve(hint);
   network_.reserve_endpoints(hint);
@@ -37,6 +48,7 @@ void ScanEngine::start() {
   started_ = true;
   stats_.started_at = network_.loop().now();
   network_.attach(config_.scanner_address, this);
+  source_->set_wakeup([this] { on_source_wakeup(); });
   next_send_time_ = network_.loop().now();
   pace();
 }
@@ -56,37 +68,58 @@ void ScanEngine::pace() {
   }
 
   launch_next_target();
-  if (!targets_exhausted_) {
+  if (!targets_exhausted_ && !source_waiting_) {
     pace_event_ = network_.loop().schedule(interval, [this] { pace(); });
   }
 }
 
 void ScanEngine::launch_next_target() {
-  const auto target = targets_.next();
-  if (!target) {
-    targets_exhausted_ = true;
-    if (done()) {
-      stats_.finished_at = network_.loop().now();
-      if (on_complete_ && !complete_notified_) {
-        complete_notified_ = true;
-        on_complete_();
-      }
-    }
-    return;
+  net::IPv4Address target;
+  std::uint64_t cycle = 0;
+  switch (source_->next(target, cycle)) {
+    case TargetSource::Pull::Exhausted:
+      targets_exhausted_ = true;
+      maybe_complete();
+      return;
+    case TargetSource::Pull::Pending:
+      // The source (a live promotion queue) ran dry but is not finished:
+      // park pacing until its wakeup fires. Launches stay rate-limited on
+      // resume because next_send_time_ is untouched.
+      source_waiting_ = true;
+      return;
+    case TargetSource::Pull::Ready:
+      break;
   }
   ++stats_.targets_started;
-  if (launch_observer_) launch_observer_(*target, targets_.last_cycle_index());
-  auto session = module_.create_session(*this, *target,
-                                        [this, t = *target] { finish_session(t); });
-  auto [it, inserted] = sessions_.emplace(*target, SessionState{std::move(session)});
+  if (launch_observer_) launch_observer_(target, cycle);
+  auto session = module_.create_session(*this, target,
+                                        [this, t = target] { finish_session(t); });
+  auto [it, inserted] = sessions_.emplace(target, SessionState{std::move(session)});
   if (!inserted) {
     // Duplicate target (overlapping allowlist); replace and run anyway.
     network_.loop().cancel(it->second.deadline);
     it->second = SessionState{module_.create_session(
-        *this, *target, [this, t = *target] { finish_session(t); })};
+        *this, target, [this, t = target] { finish_session(t); })};
   }
-  arm_deadline(it->second, *target);
+  arm_deadline(it->second, target);
   it->second.session->start();
+}
+
+void ScanEngine::on_source_wakeup() {
+  if (!started_ || !source_waiting_ || targets_exhausted_) return;
+  source_waiting_ = false;
+  if (pace_event_ == sim::kNullEvent) {
+    pace_event_ = network_.loop().schedule(sim::SimTime::zero(), [this] { pace(); });
+  }
+}
+
+void ScanEngine::maybe_complete() {
+  if (!done()) return;
+  stats_.finished_at = network_.loop().now();
+  if (on_complete_ && !complete_notified_) {
+    complete_notified_ = true;
+    on_complete_();
+  }
 }
 
 void ScanEngine::arm_deadline(SessionState& state, net::IPv4Address target) {
@@ -129,13 +162,7 @@ void ScanEngine::finish_session(net::IPv4Address target) {
     });
   }
   ++stats_.targets_finished;
-  if (done()) {
-    stats_.finished_at = network_.loop().now();
-    if (on_complete_ && !complete_notified_) {
-      complete_notified_ = true;
-      on_complete_();
-    }
-  }
+  maybe_complete();
 }
 
 void ScanEngine::handle_packet(net::PacketView bytes) {

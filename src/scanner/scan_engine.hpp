@@ -168,6 +168,13 @@ class ScanEngine final : public sim::Endpoint, public SessionServices {
  public:
   ScanEngine(sim::Network& network, EngineConfig config, TargetGenerator targets,
              ProbeModule& module);
+  /// Pull targets from an external source instead of an owned generator —
+  /// the two-phase executor feeds the engine from the stateless sweep's
+  /// promotion queue this way. `source` must outlive the engine; a source
+  /// that returns Pending must deliver its wakeup (set in start()) on the
+  /// engine's own event loop.
+  ScanEngine(sim::Network& network, EngineConfig config, TargetSource& source,
+             ProbeModule& module);
   ~ScanEngine() override;
 
   ScanEngine(const ScanEngine&) = delete;
@@ -237,13 +244,16 @@ class ScanEngine final : public sim::Endpoint, public SessionServices {
 
   void pace();
   void launch_next_target();
+  void on_source_wakeup();
+  void maybe_complete();
   void finish_session(net::IPv4Address target);
   void abort_session(net::IPv4Address target, BudgetKind kind);
   void arm_deadline(SessionState& state, net::IPv4Address target);
 
   sim::Network& network_;
   EngineConfig config_;
-  TargetGenerator targets_;
+  std::unique_ptr<TargetSource> owned_source_;  // generator-ctor path only
+  TargetSource* source_;                        // never null
   ProbeModule& module_;
 
   std::unordered_map<net::IPv4Address, SessionState> sessions_;
@@ -253,6 +263,7 @@ class ScanEngine final : public sim::Endpoint, public SessionServices {
   sim::EventId pace_event_ = sim::kNullEvent;
   sim::SimTime next_send_time_{};
   bool started_ = false;
+  bool source_waiting_ = false;  // source returned Pending; pacing is parked
   bool targets_exhausted_ = false;
   bool complete_notified_ = false;
   std::function<void()> on_complete_;

@@ -1,0 +1,127 @@
+#include "scanner/syncookie.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace iwscan::scan {
+namespace {
+
+// SipHash-2-4 (Aumasson & Bernstein) specialized to one 8-byte message —
+// the only shape the cookie MAC ever hashes, so the generic byte loop is
+// dropped. Reference vectors are pinned in scanner_test.cpp.
+constexpr std::uint64_t rotl64(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  constexpr void round() noexcept {
+    v0 += v1;
+    v1 = rotl64(v1, 13);
+    v1 ^= v0;
+    v0 = rotl64(v0, 32);
+    v2 += v3;
+    v3 = rotl64(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl64(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl64(v1, 17);
+    v1 ^= v2;
+    v2 = rotl64(v2, 32);
+  }
+};
+
+[[nodiscard]] constexpr std::uint64_t siphash24_u64(std::uint64_t k0, std::uint64_t k1,
+                                                    std::uint64_t message) noexcept {
+  SipState s{k0 ^ 0x736f6d6570736575ULL, k1 ^ 0x646f72616e646f6dULL,
+             k0 ^ 0x6c7967656e657261ULL, k1 ^ 0x7465646279746573ULL};
+  // One full 8-byte block...
+  s.v3 ^= message;
+  s.round();
+  s.round();
+  s.v0 ^= message;
+  // ...then the final block: no residual bytes, just the length (8) in
+  // the top byte, per the spec's padding rule.
+  const std::uint64_t tail = std::uint64_t{8} << 56;
+  s.v3 ^= tail;
+  s.round();
+  s.round();
+  s.v0 ^= tail;
+  s.v2 ^= 0xff;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+}  // namespace
+
+SynCookieCodec::SynCookieCodec(std::uint64_t seed) noexcept
+    : mac_k0_(util::mix64(seed, 0x6d61632d6b30ULL)),   // "mac-k0"
+      mac_k1_(util::mix64(seed, 0x6d61632d6b31ULL)) {  // "mac-k1"
+  for (std::size_t i = 0; i < round_keys_.size(); ++i) {
+    round_keys_[i] =
+        static_cast<std::uint32_t>(util::mix64(seed, 0xfe157e1ULL + i));
+  }
+}
+
+std::uint32_t SynCookieCodec::encrypt(std::uint32_t word) const noexcept {
+  std::uint32_t left = word >> 16;
+  std::uint32_t right = word & 0xffff;
+  for (const std::uint32_t key : round_keys_) {
+    const std::uint32_t f =
+        static_cast<std::uint32_t>(util::mix64(key, right)) & 0xffff;
+    const std::uint32_t next = left ^ f;
+    left = right;
+    right = next;
+  }
+  return (left << 16) | right;
+}
+
+std::uint32_t SynCookieCodec::decrypt(std::uint32_t word) const noexcept {
+  std::uint32_t left = word >> 16;
+  std::uint32_t right = word & 0xffff;
+  for (std::size_t i = round_keys_.size(); i-- > 0;) {
+    const std::uint32_t f =
+        static_cast<std::uint32_t>(util::mix64(round_keys_[i], left)) & 0xffff;
+    const std::uint32_t prev = right ^ f;
+    right = left;
+    left = prev;
+  }
+  return (left << 16) | right;
+}
+
+std::uint8_t SynCookieCodec::mac(std::uint32_t fields,
+                                 net::IPv4Address address) const noexcept {
+  const std::uint64_t message =
+      (std::uint64_t{fields} << 32) | address.value();
+  return static_cast<std::uint8_t>(siphash24_u64(mac_k0_, mac_k1_, message) & 0xf);
+}
+
+std::uint32_t SynCookieCodec::pack(const CookieIdentity& identity,
+                                   net::IPv4Address target) const noexcept {
+  IWSCAN_ASSERT(identity.index < kMaxCookieIndex, "cookie index out of range");
+  IWSCAN_ASSERT(identity.probe < kMaxCookieProbe, "cookie probe out of range");
+  IWSCAN_ASSERT(identity.epoch < kMaxCookieEpoch, "cookie epoch out of range");
+  const std::uint32_t fields = (static_cast<std::uint32_t>(identity.index) << 8) |
+                               (std::uint32_t{identity.probe} << 6) |
+                               (std::uint32_t{identity.epoch} << 4);
+  return encrypt(fields | mac(fields, target));
+}
+
+bool SynCookieCodec::unpack(std::uint32_t cookie, net::IPv4Address source,
+                            CookieIdentity& out) const noexcept {
+  const std::uint32_t plain = decrypt(cookie);
+  const std::uint32_t fields = plain & ~std::uint32_t{0xf};
+  if ((plain & 0xf) != mac(fields, source)) return false;
+  out.index = plain >> 8;
+  out.probe = static_cast<std::uint8_t>((plain >> 6) & 0x3);
+  out.epoch = static_cast<std::uint8_t>((plain >> 4) & 0x3);
+  return true;
+}
+
+}  // namespace iwscan::scan

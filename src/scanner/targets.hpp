@@ -6,7 +6,10 @@
 // paper's 1 %-subsample scans (§4.1 "Scanning 1% is enough!").
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "netbase/ipv4.hpp"
@@ -93,6 +96,84 @@ class TargetGenerator {
   std::uint64_t skipped_blocked_ = 0;
   std::uint64_t skipped_sampled_out_ = 0;
   std::uint64_t merged_overlap_ = 0;
+};
+
+/// Where a scan engine's targets come from. The classic batch scan pulls
+/// from a TargetGenerator (every target known up front); the two-phase
+/// executor pulls from a live promotion queue fed by the stateless sweep,
+/// which can momentarily run dry without being finished — hence the
+/// three-way pull result and the wakeup hook.
+class TargetSource {
+ public:
+  enum class Pull : std::uint8_t {
+    Ready,      // `target`/`cycle` were filled in
+    Pending,    // nothing right now, but more may arrive — wait for wakeup
+    Exhausted,  // no target will ever arrive again
+  };
+
+  virtual ~TargetSource() = default;
+
+  /// Pull the next target and its global permutation-cycle index.
+  [[nodiscard]] virtual Pull next(net::IPv4Address& target, std::uint64_t& cycle) = 0;
+
+  /// Expected total target count (capacity pre-sizing only; may be 0).
+  [[nodiscard]] virtual std::uint64_t size_hint() const noexcept { return 0; }
+
+  /// Called once by the consuming engine. Implementations that ever return
+  /// Pending must invoke the callback when new targets arrive or the
+  /// source becomes Exhausted; always-ready sources may ignore it.
+  virtual void set_wakeup(std::function<void()> wakeup) { (void)wakeup; }
+};
+
+/// TargetGenerator adapted to the pull interface: never Pending.
+class GeneratorTargetSource final : public TargetSource {
+ public:
+  explicit GeneratorTargetSource(TargetGenerator generator)
+      : generator_(std::move(generator)) {}
+
+  [[nodiscard]] Pull next(net::IPv4Address& target, std::uint64_t& cycle) override {
+    const auto address = generator_.next();
+    if (!address) return Pull::Exhausted;
+    target = *address;
+    cycle = generator_.last_cycle_index();
+    return Pull::Ready;
+  }
+
+  [[nodiscard]] std::uint64_t size_hint() const noexcept override {
+    return generator_.address_space_size();
+  }
+
+  [[nodiscard]] const TargetGenerator& generator() const noexcept { return generator_; }
+
+ private:
+  TargetGenerator generator_;
+};
+
+/// A fixed, pre-resolved target list with explicit cycle indices — the
+/// two-phase executor's capped mode replays the globally truncated
+/// promotion set through one of these. Never Pending.
+class ListTargetSource final : public TargetSource {
+ public:
+  using Entry = std::pair<net::IPv4Address, std::uint64_t>;  // (target, cycle)
+
+  explicit ListTargetSource(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+
+  [[nodiscard]] Pull next(net::IPv4Address& target, std::uint64_t& cycle) override {
+    if (position_ >= entries_.size()) return Pull::Exhausted;
+    target = entries_[position_].first;
+    cycle = entries_[position_].second;
+    ++position_;
+    return Pull::Ready;
+  }
+
+  [[nodiscard]] std::uint64_t size_hint() const noexcept override {
+    return entries_.size();
+  }
+
+ private:
+  std::vector<Entry> entries_;
+  std::size_t position_ = 0;
 };
 
 }  // namespace iwscan::scan

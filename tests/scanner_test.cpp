@@ -3,14 +3,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
+#include <random>
 #include <set>
+#include <string_view>
 #include <utility>
 
 #include "httpd/http_server.hpp"
+#include "netbase/checksum.hpp"
+#include "netbase/packet.hpp"
 #include "scanner/icmp_mtu.hpp"
 #include "scanner/permutation.hpp"
 #include "scanner/scan_engine.hpp"
+#include "scanner/stateless.hpp"
 #include "scanner/syn_scan.hpp"
+#include "scanner/syncookie.hpp"
 #include "scanner/targets.hpp"
 #include "tcpstack/host.hpp"
 
@@ -466,6 +473,283 @@ TEST(MtuDiscovery, DarkHostIsUnresponsive) {
   EXPECT_FALSE(results[0].responded);
   EXPECT_EQ(results[0].path_mtu, 0u);
   EXPECT_EQ(engine.stats().targets_finished, 1u);
+}
+
+// ------------------------------------------------------- SYN cookies -----
+
+TEST(SynCookie, RoundTripsAcrossTheIdentitySpace) {
+  SynCookieCodec codec(0x5eed);
+  std::mt19937_64 rng(99);
+  std::set<std::uint32_t> isns;
+  for (int trial = 0; trial < 10'000; ++trial) {
+    CookieIdentity identity;
+    identity.index = rng() % kMaxCookieIndex;
+    identity.probe = static_cast<std::uint8_t>(rng() % kMaxCookieProbe);
+    identity.epoch = static_cast<std::uint8_t>(rng() % kMaxCookieEpoch);
+    const net::IPv4Address target{static_cast<std::uint32_t>(rng())};
+    const std::uint32_t cookie = codec.pack(identity, target);
+    isns.insert(cookie);
+    CookieIdentity recovered;
+    ASSERT_TRUE(codec.unpack(cookie, target, recovered)) << trial;
+    ASSERT_EQ(recovered, identity) << trial;
+  }
+  // The Feistel layer makes on-the-wire ISNs look shuffled: a bare counter
+  // would collide here only by birthday accident, but it would be ordered.
+  EXPECT_GT(isns.size(), 9'900u);
+}
+
+TEST(SynCookie, RejectsForgedStaleAndMisattributedCookies) {
+  SynCookieCodec codec(0x5eed);
+  SynCookieCodec other_scan(0x5eee);
+  std::mt19937_64 rng(100);
+  int bitflip_accepted = 0;
+  int wrong_source_accepted = 0;
+  int wrong_key_accepted = 0;
+  constexpr int kTrials = 4'000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    CookieIdentity identity;
+    identity.index = rng() % kMaxCookieIndex;
+    const net::IPv4Address target{static_cast<std::uint32_t>(rng())};
+    const std::uint32_t cookie = codec.pack(identity, target);
+    CookieIdentity out;
+    // A host echoing a corrupted ack: flip one random bit.
+    const std::uint32_t flipped = cookie ^ (std::uint32_t{1} << (rng() % 32));
+    if (codec.unpack(flipped, target, out)) ++bitflip_accepted;
+    // A host attributing someone else's cookie to itself.
+    const net::IPv4Address imposter{static_cast<std::uint32_t>(rng())};
+    if (codec.unpack(cookie, imposter, out)) ++wrong_source_accepted;
+    // A stale cookie from a different scan (different key).
+    if (other_scan.unpack(cookie, target, out)) ++wrong_key_accepted;
+  }
+  // The MAC is 4 bits, so forgeries slip through at ~1/16; what matters is
+  // that they are rejected at the MAC's design rate, not accepted freely.
+  EXPECT_LT(bitflip_accepted, kTrials / 8);
+  EXPECT_LT(wrong_source_accepted, kTrials / 8);
+  EXPECT_LT(wrong_key_accepted, kTrials / 8);
+}
+
+TEST(SynCookie, DeterministicAcrossCodecInstances) {
+  SynCookieCodec a(42), b(42);
+  CookieIdentity identity;
+  identity.index = 123'456;
+  identity.probe = 1;
+  identity.epoch = 3;
+  const net::IPv4Address target{10, 20, 30, 40};
+  EXPECT_EQ(a.pack(identity, target), b.pack(identity, target));
+}
+
+// ----------------------------------------- incremental checksum patch ----
+
+TEST(ChecksumUpdate, PatchedTemplateMatchesFromScratchEncoding) {
+  // The stateless sweep's whole transmit path: encode once with
+  // dst/seq/ack = 0, then patch per target with RFC 1624 updates. The
+  // patched frame must be bit-identical to encoding the real values —
+  // otherwise receivers that verify by recomputation would drop probes.
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 2'000; ++trial) {
+    net::TcpSegment base;
+    base.ip.src = net::IPv4Address{192, 0, 2, 2};
+    base.ip.dst = net::IPv4Address{std::uint32_t{0}};
+    base.ip.ttl = 64;
+    base.tcp.src_port = 61337;
+    base.tcp.dst_port = 80;
+    base.tcp.seq = 0;
+    base.tcp.ack = 0;
+    base.tcp.flags = net::kAck | net::kPsh;
+    base.tcp.window = 65535;
+    base.payload = net::to_bytes("GET / HTTP/1.0\r\n\r\n");
+    net::Bytes patched = net::encode(base);
+
+    const std::uint32_t dst = static_cast<std::uint32_t>(rng());
+    const std::uint32_t seq = static_cast<std::uint32_t>(rng());
+    const std::uint32_t ack = static_cast<std::uint32_t>(rng());
+    const auto read16 = [&](std::size_t at) {
+      return static_cast<std::uint16_t>((patched[at] << 8) | patched[at + 1]);
+    };
+    const auto write16 = [&](std::size_t at, std::uint16_t value) {
+      patched[at] = static_cast<std::uint8_t>(value >> 8);
+      patched[at + 1] = static_cast<std::uint8_t>(value);
+    };
+    const auto write32 = [&](std::size_t at, std::uint32_t value) {
+      write16(at, static_cast<std::uint16_t>(value >> 16));
+      write16(at + 2, static_cast<std::uint16_t>(value));
+    };
+    write16(10, net::checksum_update32(read16(10), 0, dst));  // IP checksum
+    std::uint16_t tcp = net::checksum_update32(read16(36), 0, dst);
+    tcp = net::checksum_update32(tcp, 0, seq);
+    tcp = net::checksum_update32(tcp, 0, ack);
+    write32(16, dst);
+    write32(24, seq);
+    write32(28, ack);
+    write16(36, tcp);
+
+    net::TcpSegment real = base;
+    real.ip.dst = net::IPv4Address{dst};
+    real.tcp.seq = seq;
+    real.tcp.ack = ack;
+    ASSERT_EQ(patched, net::encode(real)) << "trial " << trial;
+  }
+}
+
+TEST(ChecksumUpdate, NoopUpdateIsIdentity) {
+  // The sweep patches the ack field unconditionally, relying on
+  // update(c, 0, 0) == c so templates whose ack stays zero need no branch.
+  // 0xFFFF is excluded: a canonical RFC 1071 encoder never transmits it
+  // (the complement of a ones'-complement fold of a non-empty packet), and
+  // the RFC 1624 update maps it to the class representative 0x0000.
+  for (std::uint32_t c = 0; c < 0xFFFF; c += 257) {
+    const auto checksum = static_cast<std::uint16_t>(c);
+    EXPECT_EQ(net::checksum_update16(checksum, 0, 0), checksum);
+    EXPECT_EQ(net::checksum_update32(checksum, 0, 0), checksum);
+    EXPECT_EQ(net::checksum_update16(checksum, 0x1234, 0x1234), checksum);
+  }
+}
+
+// --------------------------------------------------- stateless sweep -----
+
+struct SweepRig : EngineRig {
+  std::vector<SweepEvent> events;
+
+  SweepStats sweep(net::Cidr space, SweepConfig config = {},
+                   std::function<void(StatelessSweep&)> tweak = {}) {
+    StatelessSweep sweep(network, config, TargetGenerator({space}, {}, config.seed),
+                         [&](const SweepEvent& event) { events.push_back(event); });
+    if (tweak) tweak(sweep);
+    sweep.start();
+    while (!sweep.done() && loop.step()) {
+    }
+    EXPECT_TRUE(sweep.done());
+    EXPECT_EQ(sweep.live_sessions(), 0u);
+    return sweep.stats();
+  }
+
+  [[nodiscard]] int count(SweepEventKind kind) const {
+    return static_cast<int>(std::count_if(
+        events.begin(), events.end(),
+        [kind](const SweepEvent& e) { return e.kind == kind; }));
+  }
+};
+
+TEST(StatelessSweep, ClassifiesOpenClosedAndDarkAddresses) {
+  SweepRig rig;
+  // 10.2.0.0/28: .0-.4 open HTTP, .5-.9 up with port 80 closed, rest dark.
+  for (int i = 0; i < 5; ++i) rig.add_host(net::IPv4Address(10, 2, 0, static_cast<std::uint8_t>(i)), true);
+  for (int i = 5; i < 10; ++i) rig.add_host(net::IPv4Address(10, 2, 0, static_cast<std::uint8_t>(i)), false);
+
+  const SweepStats stats = rig.sweep(*net::Cidr::parse("10.2.0.0/28"));
+  EXPECT_EQ(stats.targets_probed, 16u);
+  EXPECT_EQ(stats.responsive, 5u);
+  EXPECT_EQ(stats.closed, 5u);
+  EXPECT_EQ(stats.banners, 5u);
+  EXPECT_EQ(rig.count(SweepEventKind::Responsive), 5);
+  EXPECT_EQ(rig.count(SweepEventKind::Closed), 5);
+  EXPECT_EQ(rig.count(SweepEventKind::Banner), 5);
+
+  // Responsive events carry the SYN-ACK's advertised window and MSS; the
+  // banner is the first flight's first bytes — an HTTP status line.
+  for (const SweepEvent& event : rig.events) {
+    if (event.kind == SweepEventKind::Responsive) {
+      EXPECT_GT(event.window, 0u);
+      EXPECT_GT(event.mss, 0u);
+    }
+    if (event.kind == SweepEventKind::Banner) {
+      ASSERT_GE(event.banner_length, 8u);
+      const std::string prefix(event.banner.begin(), event.banner.begin() + 8);
+      EXPECT_EQ(prefix, "HTTP/1.1");
+    }
+  }
+}
+
+TEST(StatelessSweep, DuplicatedRepliesAreSuppressedNotDoubleCounted) {
+  SweepRig rig;
+  sim::PathConfig path;
+  path.latency = sim::msec(5);
+  path.duplicate_rate = 1.0;  // every packet arrives twice
+  rig.network.set_default_path(path);
+  rig.add_host(net::IPv4Address(10, 2, 1, 1), true);
+
+  const SweepStats stats = rig.sweep(*net::Cidr::parse("10.2.1.1/32"));
+  EXPECT_EQ(stats.responsive, 1u);
+  EXPECT_EQ(stats.banners, 1u);
+  EXPECT_GT(stats.duplicate_events, 0u);
+  EXPECT_EQ(rig.count(SweepEventKind::Responsive), 1);
+  EXPECT_EQ(rig.count(SweepEventKind::Banner), 1);
+}
+
+TEST(StatelessSweep, ForgedAcksAreRejectedByCookieValidation) {
+  SweepRig rig;
+  rig.add_host(net::IPv4Address(10, 2, 2, 1), true);
+  // While the sweep sits in its answer window, an off-path attacker blasts
+  // segments whose acks never went through pack(): a forged SYN-ACK, a
+  // forged closed-port RST, and a forged data segment. All three must die
+  // at cookie validation without producing events or response packets.
+  rig.loop.schedule(sim::msec(200), [&] {
+    auto blast = [&](std::uint8_t flags, std::string_view payload) {
+      net::TcpSegment segment;
+      segment.ip.src = net::IPv4Address{10, 9, 9, 9};
+      segment.ip.dst = net::IPv4Address{192, 0, 2, 2};
+      segment.tcp.src_port = 80;
+      segment.tcp.dst_port = 61337;
+      segment.tcp.seq = 1;
+      segment.tcp.ack = 0xdeadbeef;
+      segment.tcp.flags = flags;
+      segment.payload = net::to_bytes(payload);
+      net::PacketBuf buf = rig.network.pool().acquire();
+      buf.bytes() = net::encode(segment);
+      rig.network.send(std::move(buf));
+    };
+    blast(net::kSyn | net::kAck, {});
+    blast(net::kRst | net::kAck, {});
+    blast(net::kAck | net::kPsh, "FORGED");
+  });
+  const SweepStats stats = rig.sweep(*net::Cidr::parse("10.2.2.1/32"));
+  EXPECT_GE(stats.cookie_rejected, 3u);
+  EXPECT_EQ(stats.responsive, 1u);  // the honest host still classified
+  EXPECT_EQ(stats.banners, 1u);
+  EXPECT_EQ(rig.count(SweepEventKind::Closed), 0);
+}
+
+TEST(StatelessSweep, ThrottleParksPacingUntilWake) {
+  SweepRig rig;
+  for (int i = 0; i < 4; ++i) rig.add_host(net::IPv4Address(10, 2, 3, static_cast<std::uint8_t>(i)), true);
+  bool throttled = true;
+  StatelessSweep sweep(rig.network, SweepConfig{},
+                       TargetGenerator({*net::Cidr::parse("10.2.3.0/30")}, {}, 7),
+                       [&](const SweepEvent& event) { rig.events.push_back(event); });
+  sweep.set_throttle([&] { return throttled; });
+  sweep.start();
+  while (rig.loop.step()) {
+  }
+  // Backpressure from the first pace() call onward: one SYN at most went
+  // out (the throttle is consulted before each send).
+  EXPECT_FALSE(sweep.done());
+  EXPECT_LE(sweep.stats().targets_probed, 1u);
+
+  throttled = false;
+  sweep.wake();
+  while (!sweep.done() && rig.loop.step()) {
+  }
+  EXPECT_TRUE(sweep.done());
+  EXPECT_EQ(sweep.stats().targets_probed, 4u);
+  EXPECT_EQ(sweep.stats().responsive, 4u);
+}
+
+TEST(StatelessSweep, DarkSpaceFinishesViaCooldownAndSignalsCompletion) {
+  SweepRig rig;
+  SweepConfig config;
+  config.cooldown = sim::sec(2);
+  bool completed = false;
+  const SweepStats stats =
+      rig.sweep(*net::Cidr::parse("10.2.4.0/28"), config,
+                [&](StatelessSweep& sweep) {
+                  sweep.set_on_complete([&] { completed = true; });
+                });
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(stats.targets_probed, 16u);
+  EXPECT_EQ(stats.packets_sent, 16u);  // one SYN each, nothing to answer
+  EXPECT_EQ(stats.responsive, 0u);
+  EXPECT_EQ(stats.packets_received, 0u);
+  EXPECT_GE(stats.finished_at - stats.started_at, config.cooldown);
 }
 
 }  // namespace

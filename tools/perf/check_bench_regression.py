@@ -1,7 +1,12 @@
 #!/usr/bin/env python3
-"""Compare a fresh `bench_micro --json` run against the committed baseline.
+"""Compare fresh `--json` bench runs against the committed baseline.
 
-Usage: check_bench_regression.py BENCH_datapath.json BENCH_micro.json
+Usage: check_bench_regression.py BENCH_datapath.json FRESH.json [FRESH.json...]
+
+Every fresh file contributes the entries of its top-level `benchmarks`
+array (bench_micro emits one per microbenchmark; bench_s34_scan_rate emits
+the scan/sweep rate counters). A name appearing in several files takes the
+last file's value.
 
 The baseline file (see BENCH_datapath.json at the repo root) maps benchmark
 names to expected counters. Two kinds of counters are checked:
@@ -30,19 +35,20 @@ def load(path):
 
 
 def main(argv):
-    if len(argv) != 3:
+    if len(argv) < 3:
         print(__doc__, file=sys.stderr)
         return 2
-    baseline_path, fresh_path = argv[1], argv[2]
+    baseline_path, fresh_paths = argv[1], argv[2:]
 
     try:
         baseline = load(baseline_path)
     except FileNotFoundError:
         print(f"no committed baseline at {baseline_path}; skipping perf check")
         return 0
-    fresh = load(fresh_path)
-
-    by_name = {entry["name"]: entry for entry in fresh.get("benchmarks", [])}
+    by_name = {}
+    for fresh_path in fresh_paths:
+        fresh = load(fresh_path)
+        by_name.update({entry["name"]: entry for entry in fresh.get("benchmarks", [])})
     failures = []
     for name, expected in baseline.get("baseline", {}).items():
         entry = by_name.get(name)

@@ -32,6 +32,12 @@ inline void define_common_flags(util::Flags& flags) {
   flags.define_double("rate", 150000, "scan rate in probed targets/second");
   flags.define_u64("shards", 1,
                    "parallel scan workers (output is identical for any value)");
+  flags.define_string("shard", "0/1",
+                      "this process's stride of the target permutation, as "
+                      "i/N (multi-process operator mode; merge with iwmerge)");
+  flags.define_string("spill-dir", "",
+                      "stream scan records into columnar spill files under "
+                      "this directory instead of RAM");
   flags.define_bool("csv", false, "emit CSV instead of aligned tables");
 }
 
@@ -67,6 +73,16 @@ inline analysis::ScanOptions scan_options(const util::Flags& flags,
   options.rate_pps = flags.real("rate");
   options.scan_seed = flags.u64("scan-seed");
   options.shards = flags.u64("shards");
+  options.spill_dir = flags.str("spill-dir");
+  const auto parts = util::split(flags.str("shard"), '/');
+  if (parts.size() == 2) {
+    const auto i = util::parse_u64(parts[0]);
+    const auto n = util::parse_u64(parts[1]);
+    if (i.has_value() && n.has_value() && *n > 0 && *i < *n) {
+      options.process_shard = *i;
+      options.process_shards = *n;
+    }
+  }
   return options;
 }
 

@@ -5,15 +5,43 @@
 //   $ ./build/examples/quickstart --shards=4    # same output, more cores
 //   $ ./build/examples/quickstart --two-phase   # stateless sweep first
 //
+// Multi-process operator mode (ZMap-style): each process scans a disjoint
+// stride of the same permutation and spills its records to disk; iwmerge
+// reconstructs the single-process report byte-for-byte:
+//
+//   $ ./build/examples/quickstart --shard=0/2 --spill-dir=run/p0 &
+//   $ ./build/examples/quickstart --shard=1/2 --spill-dir=run/p1 &
+//   $ wait && ./build/tools/iwmerge/iwmerge --inputs=run/p0,run/p1
+//
 // This is the 20-line core of the library: a Network carries packets, an
 // InternetModel materializes hosts lazily, and run_iw_scan() drives the
 // ZMap-style engine with the paper's estimation methodology (Fig. 1).
 #include <cstdio>
+#include <string>
 
 #include "analysis/iw_table.hpp"
 #include "analysis/scan_runner.hpp"
+#include "analysis/spill_report.hpp"
 #include "inetmodel/internet.hpp"
 #include "util/flags.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+/// Parses "i/N" into (shard, total). Returns false on malformed input.
+bool parse_shard_spec(const std::string& text, std::uint64_t& shard,
+                      std::uint64_t& total) {
+  const auto parts = iwscan::util::split(text, '/');
+  if (parts.size() != 2) return false;
+  const auto i = iwscan::util::parse_u64(parts[0]);
+  const auto n = iwscan::util::parse_u64(parts[1]);
+  if (!i.has_value() || !n.has_value() || *n == 0 || *i >= *n) return false;
+  shard = *i;
+  total = *n;
+  return true;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace iwscan;
@@ -24,6 +52,13 @@ int main(int argc, char** argv) {
   flags.define_bool("two-phase", false,
                     "stateless ZBanner-style sweep first; only responsive "
                     "hosts reach the stateful IW estimator");
+  flags.define_string("shard", "0/1",
+                      "this process's stride of the target permutation, as "
+                      "i/N (run one process per stride, then iwmerge)");
+  flags.define_u64("seed", 7, "scan seed (all processes of one scan must match)");
+  flags.define_string("spill-dir", "",
+                      "stream records into columnar spill files under this "
+                      "directory instead of RAM (required for --shard i/N>1)");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage(argv[0]).c_str());
@@ -32,6 +67,12 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) {
     std::printf("%s", flags.usage(argv[0]).c_str());
     return 0;
+  }
+  std::uint64_t process_shard = 0;
+  std::uint64_t process_shards = 1;
+  if (!parse_shard_spec(flags.str("shard"), process_shard, process_shards)) {
+    std::fprintf(stderr, "quickstart: --shard must be i/N with i < N\n");
+    return 2;
   }
 
   // 1. A virtual-time network and a synthetic Internet of ~2^14 addresses.
@@ -47,7 +88,11 @@ int main(int argc, char** argv) {
   analysis::ScanOptions options;
   options.protocol = core::ProbeProtocol::Http;
   options.rate_pps = 50'000;
+  options.scan_seed = flags.u64("seed");
   options.shards = flags.u64("shards");  // >1: exec:: worker threads
+  options.process_shard = process_shard;  // this process's permutation stride
+  options.process_shards = process_shards;
+  options.spill_dir = flags.str("spill-dir");
   // --two-phase: a stateless SYN sweep (no per-host state, identity in the
   // ISN) covers the space first; the stateful estimator then probes only
   // the responsive sliver. Records are byte-identical to the stateful-
@@ -62,6 +107,30 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(output.sweep.closed),
                 static_cast<unsigned long long>(output.sweep.banners),
                 static_cast<unsigned long long>(output.promoted));
+  }
+
+  // Spill mode: records went to disk, not RAM. Read them back through the
+  // streaming merge for the same report (or hand the directory to iwmerge
+  // together with the other processes' directories).
+  if (!options.spill_dir.empty()) {
+    analysis::SpillSummary merged;
+    std::string error;
+    if (!analysis::summarize_spill_files(output.spill_files, merged, error)) {
+      std::fprintf(stderr, "quickstart: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("probed %llu hosts (shard %llu/%llu): %llu reachable, success "
+                "%.1f%%, few-data %.1f%%, error %.1f%%\n",
+                static_cast<unsigned long long>(merged.records),
+                static_cast<unsigned long long>(process_shard),
+                static_cast<unsigned long long>(process_shards),
+                static_cast<unsigned long long>(merged.summary.reachable),
+                merged.summary.success_rate() * 100,
+                merged.summary.few_data_rate() * 100,
+                merged.summary.error_rate() * 100);
+    std::printf("spilled %zu file(s) under %s — merge with iwmerge\n",
+                output.spill_files.size(), options.spill_dir.c_str());
+    return 0;
   }
 
   // 3. Aggregate into the Table-1 / Fig.-3 views.

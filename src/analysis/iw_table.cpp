@@ -4,19 +4,21 @@
 
 namespace iwscan::analysis {
 
+void accumulate(DatasetSummary& summary, const core::HostScanRecord& record) {
+  ++summary.probed;
+  if (record.outcome == core::HostOutcome::Unreachable) return;
+  ++summary.reachable;
+  switch (record.outcome) {
+    case core::HostOutcome::Success: ++summary.success; break;
+    case core::HostOutcome::FewData: ++summary.few_data; break;
+    case core::HostOutcome::Error: ++summary.error; break;
+    case core::HostOutcome::Unreachable: break;
+  }
+}
+
 DatasetSummary summarize(std::span<const core::HostScanRecord> records) {
   DatasetSummary summary;
-  for (const auto& record : records) {
-    ++summary.probed;
-    if (record.outcome == core::HostOutcome::Unreachable) continue;
-    ++summary.reachable;
-    switch (record.outcome) {
-      case core::HostOutcome::Success: ++summary.success; break;
-      case core::HostOutcome::FewData: ++summary.few_data; break;
-      case core::HostOutcome::Error: ++summary.error; break;
-      case core::HostOutcome::Unreachable: break;
-    }
-  }
+  for (const auto& record : records) accumulate(summary, record);
   return summary;
 }
 

@@ -32,6 +32,11 @@ struct DatasetSummary {
   }
 };
 
+/// Folds one record into the summary. summarize() loops this; streaming
+/// consumers (analysis::summarize_spill) call it record-by-record so the
+/// whole dataset never has to be resident.
+void accumulate(DatasetSummary& summary, const core::HostScanRecord& record);
+
 [[nodiscard]] DatasetSummary summarize(std::span<const core::HostScanRecord> records);
 
 /// IW histogram over successful estimates: IW segments → host count.

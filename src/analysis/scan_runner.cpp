@@ -19,6 +19,10 @@ ScanOutput run_iw_scan(sim::Network& network, model::InternetModel& internet,
                                     : internet.registry().scan_space();
   job.block = options.blocklist;
   job.shards = options.shards;
+  job.process_shard = options.process_shard;
+  job.process_shards = options.process_shards;
+  job.spill_dir = options.spill_dir;
+  job.spill_segment_bytes = options.spill_segment_bytes;
   job.progress = options.progress;
   job.progress_interval = options.progress_interval;
 
@@ -38,6 +42,8 @@ ScanOutput run_iw_scan(sim::Network& network, model::InternetModel& internet,
     output.sweep = result.sweep;
     output.promoted = result.promoted;
     output.truncated = result.truncated;
+    output.spill_files = std::move(result.spill_files);
+    output.sweep_spill_files = std::move(result.sweep_spill_files);
     return output;
   }
 
@@ -47,6 +53,7 @@ ScanOutput run_iw_scan(sim::Network& network, model::InternetModel& internet,
   output.engine = result.engine;
   output.duration = result.duration;
   output.address_space = result.address_space;
+  output.spill_files = std::move(result.spill_files);
   return output;
 }
 

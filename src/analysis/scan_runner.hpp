@@ -3,6 +3,8 @@
 // touches (see examples/quickstart.cpp).
 #pragma once
 
+#include <cstddef>
+#include <string>
 #include <vector>
 
 #include "core/host_prober.hpp"
@@ -38,6 +40,18 @@ struct ScanOptions {
   // >0 caps phase 2 at the K responsive hosts with the lowest global
   // permutation-cycle indices (deterministic truncation, any shard count).
   std::uint64_t max_promoted_hosts = 0;
+  // Multi-process operator mode (ZMap-style --shard i/N): this process owns
+  // the permutation residue process_shard (mod process_shards); the merged
+  // output across all N processes equals a single-process run. Processes
+  // must share scan_seed (tools/iwmerge enforces this on merge).
+  std::uint64_t process_shard = 0;
+  std::uint64_t process_shards = 1;
+  // Bounded-memory result path: when non-empty, records stream into
+  // fixed-size columnar spill segments under this directory instead of
+  // ScanOutput::records — RSS stays O(spill_segment_bytes) per worker, not
+  // O(targets). Read back with store::open_merge or tools/iwmerge.
+  std::string spill_dir;
+  std::size_t spill_segment_bytes = 1u << 20;
 };
 
 struct ScanOutput {
@@ -50,6 +64,10 @@ struct ScanOutput {
   scan::SweepStats sweep;
   std::uint64_t promoted = 0;   // responsive hosts handed to phase 2
   std::uint64_t truncated = 0;  // responsive hosts dropped by the cap
+  // Spill mode only (records/sweep_records stay empty): per-shard spill
+  // files, shard order. analysis::summarize_spill reads them back merged.
+  std::vector<std::string> spill_files;
+  std::vector<std::string> sweep_spill_files;
 };
 
 /// Runs the scan to completion on the network's event loop.

@@ -1,0 +1,49 @@
+#include "analysis/spill_report.hpp"
+
+#include <utility>
+
+namespace iwscan::analysis {
+
+SpillSummary summarize_spill(store::MergeReader<core::HostScanRecord>& reader) {
+  SpillSummary out;
+  out.seed = reader.seed();
+  std::uint64_t cycle = 0;
+  core::HostScanRecord record;
+  while (reader.next(cycle, record)) {
+    accumulate(out.summary, record);
+    if (record.outcome == core::HostOutcome::Success) {
+      ++out.histogram[record.iw_segments];
+    }
+    ++out.records;
+  }
+  return out;
+}
+
+bool summarize_spill_files(const std::vector<std::string>& inputs, SpillSummary& out,
+                           std::string& error) {
+  std::vector<std::string> files;
+  if (!store::collect_spill_files(inputs, store::RecordKind::Host, files, &error)) {
+    return false;
+  }
+  auto merge = store::open_merge<core::HostScanRecord>(files, &error);
+  if (!merge.has_value()) return false;
+  out = summarize_spill(*merge);
+  if (!merge->ok()) {
+    error = merge->error();
+    return false;
+  }
+  return true;
+}
+
+std::map<std::uint32_t, double> spill_iw_fractions(const SpillSummary& summary) {
+  std::uint64_t total = 0;
+  for (const auto& [iw, count] : summary.histogram) total += count;
+  std::map<std::uint32_t, double> fractions;
+  if (total == 0) return fractions;
+  for (const auto& [iw, count] : summary.histogram) {
+    fractions[iw] = static_cast<double>(count) / static_cast<double>(total);
+  }
+  return fractions;
+}
+
+}  // namespace iwscan::analysis

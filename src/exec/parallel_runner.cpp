@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -10,6 +11,8 @@
 #include "exec/channel.hpp"
 #include "exec/shard_plan.hpp"
 #include "exec/thread_pool.hpp"
+#include "store/spill.hpp"
+#include "util/check.hpp"
 
 namespace iwscan::exec {
 
@@ -27,6 +30,7 @@ struct ShardDone {
   std::uint64_t shard = 0;
   scan::EngineStats stats;
   sim::SimTime duration{};
+  std::string spill_file;  // spill mode only
 };
 
 using Message = std::variant<TaggedRecord, ShardDone>;
@@ -53,23 +57,67 @@ scan::EngineConfig engine_config_for(const ScanJob& job, double rate_pps,
   return config;
 }
 
+/// Upper bound on the records this process can emit: its slice of the
+/// allowlist (ceil over process shards), scaled by the sample fraction.
+/// Used to pre-size the merge vector so the record path never reallocates
+/// mid-scan (pinned in tests/alloc_budget_test.cpp).
+std::size_t expected_records(const ScanJob& job, std::uint64_t address_space) {
+  const std::uint64_t shards = std::max<std::uint64_t>(job.process_shards, 1);
+  const std::uint64_t per_process = (address_space + shards - 1) / shards;
+  if (job.sample_fraction >= 1.0) return static_cast<std::size_t>(per_process);
+  return static_cast<std::size_t>(static_cast<double>(per_process) *
+                                  job.sample_fraction) +
+         1;
+}
+
+store::SpillConfig spill_config_for(const ScanJob& job, std::uint64_t global_shard,
+                                    std::uint64_t global_total) {
+  store::SpillConfig config;
+  config.directory = job.spill_dir;
+  config.segment_bytes = job.spill_segment_bytes;
+  config.seed = job.scan_seed;
+  config.shard = static_cast<std::uint32_t>(global_shard);
+  config.total_shards = static_cast<std::uint32_t>(global_total);
+  return config;
+}
+
+/// Closes a spill writer, treating an I/O failure (disk full, unwritable
+/// directory) as fatal — the scan's records would otherwise be lost.
+template <class Record>
+std::string finish_spill(store::SpillWriter<Record>& writer) {
+  const bool flushed = writer.close();
+  if (!flushed) {
+    std::fprintf(stderr, "iwscan: %s\n", writer.error().c_str());
+  }
+  IWSCAN_ASSERT(flushed, "spill write failed; see the error above");
+  return writer.path();
+}
+
 /// shards<=1: the classic single-loop path, on the caller's world. Records
 /// are still emitted in cycle order so the output shape matches shards>1.
 ScanResult run_single(const ScanJob& job, sim::Network& network) {
   ScanResult result;
   scan::TargetGenerator targets(job.allow, job.block, job.scan_seed,
-                                job.sample_fraction);
+                                job.sample_fraction, job.process_shard,
+                                job.process_shards);
   result.address_space = targets.address_space_size();
+
+  std::optional<store::SpillWriter<core::HostScanRecord>> spill;
+  if (!job.spill_dir.empty()) {
+    spill.emplace(spill_config_for(job, job.process_shard, job.process_shards));
+  }
 
   std::unordered_map<net::IPv4Address, std::uint64_t> cycle_of;
   std::vector<TaggedRecord> tagged;
+  if (!spill.has_value()) tagged.reserve(expected_records(job, result.address_space));
   std::uint64_t launched = 0;
+  std::uint64_t completed = 0;
   auto emit_progress = [&](std::uint64_t shards_done) {
     if (!job.progress) return;
     ProgressSnapshot snap;
     snap.targets_started = launched;
-    snap.records_merged = tagged.size();
-    snap.outstanding = launched - tagged.size();
+    snap.records_merged = completed;
+    snap.outstanding = launched - completed;
     snap.shards_done = shards_done;
     snap.shards_total = 1;
     job.progress(snap);
@@ -77,8 +125,15 @@ ScanResult run_single(const ScanJob& job, sim::Network& network) {
 
   core::IwProbeModule module(job.probe, [&](const core::HostScanRecord& record) {
     const auto it = cycle_of.find(record.ip);
-    tagged.push_back({it == cycle_of.end() ? 0 : it->second, record});
-    if (job.progress_interval > 0 && tagged.size() % job.progress_interval == 0) {
+    const std::uint64_t cycle = it == cycle_of.end() ? 0 : it->second;
+    if (it != cycle_of.end()) cycle_of.erase(it);  // one record per host
+    if (spill.has_value()) {
+      spill->append(cycle, record);
+    } else {
+      tagged.push_back({cycle, record});
+    }
+    ++completed;
+    if (job.progress_interval > 0 && completed % job.progress_interval == 0) {
       emit_progress(0);
     }
   });
@@ -96,14 +151,19 @@ ScanResult run_single(const ScanJob& job, sim::Network& network) {
   }
   result.duration = network.loop().now() - start;
   result.engine = engine.stats();
-  result.records = sorted_records(std::move(tagged));
+  if (spill.has_value()) {
+    result.spill_files.push_back(finish_spill(*spill));
+  } else {
+    result.records = sorted_records(std::move(tagged));
+  }
   emit_progress(1);
   return result;
 }
 
 /// One worker: a private world seeded identically to the reference one,
-/// scanning shard `spec.shard` of `spec.total_shards` and streaming tagged
-/// records into the aggregator's channel. Runs entirely in virtual time.
+/// scanning global stride `process_shard + process_shards * spec.shard` of
+/// `process_shards * spec.total_shards` and streaming tagged records into
+/// the aggregator's channel (or its own spill file in spill mode).
 void run_shard(const ScanJob& job, const ShardSpec& spec, std::uint64_t network_seed,
                const sim::PathConfig& default_path, const model::ModelConfig& model_config,
                BoundedChannel<Message>& channel, std::atomic<std::uint64_t>& launched) {
@@ -113,13 +173,27 @@ void run_shard(const ScanJob& job, const ShardSpec& spec, std::uint64_t network_
   model::InternetModel internet(network, model_config);
   internet.install();
 
+  const std::uint64_t global_total = job.process_shards * spec.total_shards;
+  const std::uint64_t global_shard =
+      job.process_shard + job.process_shards * spec.shard;
   scan::TargetGenerator targets(job.allow, job.block, job.scan_seed,
-                                job.sample_fraction, spec.shard, spec.total_shards);
+                                job.sample_fraction, global_shard, global_total);
+
+  std::optional<store::SpillWriter<core::HostScanRecord>> spill;
+  if (!job.spill_dir.empty()) {
+    spill.emplace(spill_config_for(job, global_shard, global_total));
+  }
 
   std::unordered_map<net::IPv4Address, std::uint64_t> cycle_of;
   core::IwProbeModule module(job.probe, [&](const core::HostScanRecord& record) {
     const auto it = cycle_of.find(record.ip);
-    channel.push(TaggedRecord{it == cycle_of.end() ? 0 : it->second, record});
+    const std::uint64_t cycle = it == cycle_of.end() ? 0 : it->second;
+    if (it != cycle_of.end()) cycle_of.erase(it);
+    if (spill.has_value()) {
+      spill->append(cycle, record);
+    } else {
+      channel.push(TaggedRecord{cycle, record});
+    }
   });
 
   scan::ScanEngine engine(network,
@@ -134,7 +208,9 @@ void run_shard(const ScanJob& job, const ShardSpec& spec, std::uint64_t network_
   engine.start();
   while (!engine.done() && loop.step()) {
   }
-  channel.push(ShardDone{spec.shard, engine.stats(), loop.now() - start});
+  ShardDone done{spec.shard, engine.stats(), loop.now() - start, {}};
+  if (spill.has_value()) done.spill_file = finish_spill(*spill);
+  channel.push(std::move(done));
 }
 
 }  // namespace
@@ -155,6 +231,7 @@ ScanResult ParallelScanRunner::run(sim::Network& network, model::InternetModel& 
   const std::uint64_t network_seed = network.seed();
   const sim::PathConfig default_path = network.default_path();
   const model::ModelConfig model_config = internet.config();
+  const bool spilling = !job_.spill_dir.empty();
 
   BoundedChannel<Message> channel(kChannelCapacity);
   std::atomic<std::uint64_t> launched{0};
@@ -171,6 +248,7 @@ ScanResult ParallelScanRunner::run(sim::Network& network, model::InternetModel& 
   // Aggregate on the calling thread: drain the channel until every shard
   // has reported completion, then merge in deterministic order.
   std::vector<TaggedRecord> tagged;
+  if (!spilling) tagged.reserve(expected_records(job_, result.address_space));
   std::vector<ShardDone> done(shard_count);
   std::uint64_t shards_done = 0;
   auto emit_progress = [&] {
@@ -193,8 +271,8 @@ ScanResult ParallelScanRunner::run(sim::Network& network, model::InternetModel& 
         emit_progress();
       }
     } else {
-      const ShardDone& fin = std::get<ShardDone>(*message);
-      done[fin.shard] = fin;
+      ShardDone& fin = std::get<ShardDone>(*message);
+      done[fin.shard] = std::move(fin);
       ++shards_done;
       emit_progress();
     }
@@ -202,9 +280,10 @@ ScanResult ParallelScanRunner::run(sim::Network& network, model::InternetModel& 
   pool.wait();
   channel.close();
 
-  for (const ShardDone& fin : done) {  // fixed shard order, schedule-independent
+  for (ShardDone& fin : done) {  // fixed shard order, schedule-independent
     result.engine += fin.stats;
     result.duration = std::max(result.duration, fin.duration);
+    if (!fin.spill_file.empty()) result.spill_files.push_back(std::move(fin.spill_file));
   }
   result.records = sorted_records(std::move(tagged));
   return result;

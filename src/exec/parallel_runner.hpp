@@ -20,7 +20,9 @@
 //      into the single-shard emission order (see PermutationIterator).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/host_prober.hpp"
@@ -42,6 +44,20 @@ struct ScanJob {
   std::vector<net::Cidr> allow;
   std::vector<net::Cidr> block;
   std::uint64_t shards = 1;
+  // Multi-process operator mode (ZMap-style --shard i/N --seed S): this
+  // process owns the permutation residue `process_shard` (mod
+  // `process_shards`); thread shards subdivide that stride further. Cycle
+  // indices stay global, so spill files from all processes merge back into
+  // the single-process record order (tools/iwmerge).
+  std::uint64_t process_shard = 0;
+  std::uint64_t process_shards = 1;
+  // Bounded-memory result path: when non-empty, workers stream records
+  // into per-shard columnar spill files under this directory
+  // (store::SpillWriter) instead of growing ScanResult::records — RSS
+  // stays O(spill_segment_bytes), not O(targets). Read the files back in
+  // global cycle order with store::MergeReader or tools/iwmerge.
+  std::string spill_dir;
+  std::size_t spill_segment_bytes = 1u << 20;
   ProgressFn progress;  // optional; invoked on the calling thread
   std::uint64_t progress_interval = 1024;  // merged records between snapshots
 };
@@ -51,6 +67,9 @@ struct ScanResult {
   scan::EngineStats engine;                   // summed over shards
   sim::SimTime duration{};                    // max over shards (virtual time)
   std::uint64_t address_space = 0;            // allowlist size, post-merge
+  // Spill mode only (records stays empty): one file per worker shard, in
+  // shard order. Merge-read them to recover the record stream.
+  std::vector<std::string> spill_files;
 };
 
 class ParallelScanRunner {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <deque>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -13,6 +16,8 @@
 #include "exec/channel.hpp"
 #include "exec/shard_plan.hpp"
 #include "exec/thread_pool.hpp"
+#include "store/spill.hpp"
+#include "util/check.hpp"
 
 namespace iwscan::exec {
 
@@ -41,6 +46,11 @@ struct PhaseOneDone {
   std::uint64_t shard = 0;
   scan::SweepStats stats;
   sim::SimTime duration{};
+  /// This shard's responsive cycle indices, ascending. The aggregator
+  /// merges them to name the K-th smallest index across shards — sweep
+  /// records themselves never need to transit in spill mode.
+  std::vector<std::uint64_t> responsive_cycles;
+  std::string sweep_spill_file;  // spill mode only
 };
 
 struct ShardDone {
@@ -49,6 +59,8 @@ struct ShardDone {
   scan::SweepStats sweep;  // zero in capped mode (reported via PhaseOneDone)
   sim::SimTime duration{};
   std::uint64_t promoted = 0;
+  std::string spill_file;        // spill mode only: phase-2 host records
+  std::string sweep_spill_file;  // spill mode, streaming only
 };
 
 using Message = std::variant<TaggedRecord, SweepTagged, PhaseOneDone, ShardDone>;
@@ -171,6 +183,40 @@ scan::SweepConfig sweep_config_for(const TwoPhaseJob& job, double rate_pps) {
   config.rate_pps = rate_pps;
   config.seed = job.scan.scan_seed;
   return config;
+}
+
+store::SpillConfig spill_config_for(const ScanJob& job, std::uint64_t global_shard,
+                                    std::uint64_t global_total) {
+  store::SpillConfig config;
+  config.directory = job.spill_dir;
+  config.segment_bytes = job.spill_segment_bytes;
+  config.seed = job.scan_seed;
+  config.shard = static_cast<std::uint32_t>(global_shard);
+  config.total_shards = static_cast<std::uint32_t>(global_total);
+  return config;
+}
+
+/// Closes a spill writer, treating an I/O failure (disk full, unwritable
+/// directory) as fatal — the scan's records would otherwise be lost.
+template <class Record>
+std::string finish_spill(store::SpillWriter<Record>& writer) {
+  const bool flushed = writer.close();
+  if (!flushed) {
+    std::fprintf(stderr, "iwscan: %s\n", writer.error().c_str());
+  }
+  IWSCAN_ASSERT(flushed, "spill write failed; see the error above");
+  return writer.path();
+}
+
+/// Spills a finished shard's sweep records (already in cycle order) and
+/// returns the file path.
+std::string spill_sweep_records(const ScanJob& job, std::uint64_t global_shard,
+                                std::uint64_t global_total,
+                                const std::vector<scan::SweepRecord>& records) {
+  store::SpillWriter<scan::SweepRecord> writer(
+      spill_config_for(job, global_shard, global_total));
+  for (const scan::SweepRecord& record : records) writer.append(record.cycle, record);
+  return finish_spill(writer);
 }
 
 /// Promoted hosts awaiting phase 2, in cycle order: (target, cycle index).
@@ -323,15 +369,36 @@ void run_streaming_shard(const TwoPhaseJob& job, const ShardSpec& spec,
   model::InternetModel internet(network, model_config);
   internet.install();
 
-  StreamingOutcome outcome = run_streaming_world(
-      job, network, sweep_rate, spec.rate_pps, spec.max_outstanding, spec.shard,
-      spec.total_shards, launched,
-      [&channel](TaggedRecord record) { channel.push(std::move(record)); });
-  for (scan::SweepRecord& record : outcome.sweep_records) {
-    channel.push(SweepTagged{std::move(record)});
+  const std::uint64_t global_total = job.scan.process_shards * spec.total_shards;
+  const std::uint64_t global_shard =
+      job.scan.process_shard + job.scan.process_shards * spec.shard;
+  std::optional<store::SpillWriter<core::HostScanRecord>> spill;
+  if (!job.scan.spill_dir.empty()) {
+    spill.emplace(spill_config_for(job.scan, global_shard, global_total));
   }
-  channel.push(ShardDone{spec.shard, outcome.engine_stats, outcome.sweep_stats,
-                         outcome.duration, outcome.promoted});
+
+  StreamingOutcome outcome = run_streaming_world(
+      job, network, sweep_rate, spec.rate_pps, spec.max_outstanding, global_shard,
+      global_total, launched, [&](TaggedRecord record) {
+        if (spill.has_value()) {
+          spill->append(record.cycle, record.record);
+        } else {
+          channel.push(std::move(record));
+        }
+      });
+  ShardDone done{spec.shard,        outcome.engine_stats, outcome.sweep_stats,
+                 outcome.duration,  outcome.promoted,     {},
+                 {}};
+  if (spill.has_value()) {
+    done.spill_file = finish_spill(*spill);
+    done.sweep_spill_file =
+        spill_sweep_records(job.scan, global_shard, global_total, outcome.sweep_records);
+  } else {
+    for (scan::SweepRecord& record : outcome.sweep_records) {
+      channel.push(SweepTagged{std::move(record)});
+    }
+  }
+  channel.push(std::move(done));
 }
 
 /// Capped worker: sweep this shard, report, block on the globally computed
@@ -350,13 +417,28 @@ void run_capped_shard(const TwoPhaseJob& job, const ShardSpec& spec,
   model::InternetModel internet(network, model_config);
   internet.install();
 
+  const std::uint64_t global_total = job.scan.process_shards * spec.total_shards;
+  const std::uint64_t global_shard =
+      job.scan.process_shard + job.scan.process_shards * spec.shard;
+  const bool spilling = !job.scan.spill_dir.empty();
+
   SweepOutcome sweep_out =
-      run_sweep_phase(job, network, sweep_rate, spec.shard, spec.total_shards);
+      run_sweep_phase(job, network, sweep_rate, global_shard, global_total);
   PromotionList entries = responsive_entries(sweep_out.records);
-  for (scan::SweepRecord& record : sweep_out.records) {
-    channel.push(SweepTagged{std::move(record)});
+  PhaseOneDone phase1{spec.shard, sweep_out.stats, sweep_out.duration, {}, {}};
+  phase1.responsive_cycles.reserve(entries.size());
+  for (const scan::ListTargetSource::Entry& entry : entries) {
+    phase1.responsive_cycles.push_back(entry.second);
   }
-  channel.push(PhaseOneDone{spec.shard, sweep_out.stats, sweep_out.duration});
+  if (spilling) {
+    phase1.sweep_spill_file =
+        spill_sweep_records(job.scan, global_shard, global_total, sweep_out.records);
+  } else {
+    for (scan::SweepRecord& record : sweep_out.records) {
+      channel.push(SweepTagged{std::move(record)});
+    }
+  }
+  channel.push(std::move(phase1));
 
   // Barrier: the aggregator needs every shard's responsive set before it
   // can name the K-th smallest cycle index. A closed channel (early
@@ -368,11 +450,20 @@ void run_capped_shard(const TwoPhaseJob& job, const ShardSpec& spec,
   });
   const std::uint64_t promoted = entries.size();
 
+  std::optional<store::SpillWriter<core::HostScanRecord>> spill;
+  if (spilling) spill.emplace(spill_config_for(job.scan, global_shard, global_total));
   ListOutcome phase2 = run_list_phase(
       job.scan, network, std::move(entries), spec.rate_pps, spec.max_outstanding,
-      launched, [&channel](TaggedRecord record) { channel.push(std::move(record)); });
-  channel.push(
-      ShardDone{spec.shard, phase2.stats, {}, phase2.duration, promoted});
+      launched, [&](TaggedRecord record) {
+        if (spill.has_value()) {
+          spill->append(record.cycle, record.record);
+        } else {
+          channel.push(std::move(record));
+        }
+      });
+  ShardDone done{spec.shard, phase2.stats, {}, phase2.duration, promoted, {}, {}};
+  if (spill.has_value()) done.spill_file = finish_spill(*spill);
+  channel.push(std::move(done));
 }
 
 }  // namespace
@@ -387,23 +478,37 @@ TwoPhaseResult TwoPhaseRunner::run(sim::Network& network,
   }
 
   const bool capped = job_.max_promoted_hosts > 0;
+  const bool spilling = !job_.scan.spill_dir.empty();
   std::atomic<std::uint64_t> launched{0};
   std::vector<TaggedRecord> tagged;
+  std::uint64_t merged = 0;
+
+  // shards<=1 only: the single-world paths below sink records straight into
+  // this writer; shards>1 workers own per-shard writers instead.
+  std::optional<store::SpillWriter<core::HostScanRecord>> host_spill;
+  if (spilling && job_.scan.shards <= 1) {
+    host_spill.emplace(spill_config_for(job_.scan, job_.scan.process_shard,
+                                        job_.scan.process_shards));
+  }
 
   auto emit_progress = [&](std::uint64_t shards_done, std::uint64_t shards_total) {
     if (!job_.scan.progress) return;
     ProgressSnapshot snap;
     snap.targets_started = launched.load(std::memory_order_relaxed);
-    snap.records_merged = tagged.size();
+    snap.records_merged = merged;
     snap.outstanding = snap.targets_started - snap.records_merged;
     snap.shards_done = shards_done;
     snap.shards_total = shards_total;
     job_.scan.progress(snap);
   };
   auto record_sink = [&](TaggedRecord record) {
-    tagged.push_back(std::move(record));
-    if (job_.scan.progress_interval > 0 &&
-        tagged.size() % job_.scan.progress_interval == 0) {
+    if (host_spill.has_value()) {
+      host_spill->append(record.cycle, record.record);
+    } else {
+      tagged.push_back(std::move(record));
+    }
+    ++merged;
+    if (job_.scan.progress_interval > 0 && merged % job_.scan.progress_interval == 0) {
       emit_progress(0, std::max<std::uint64_t>(job_.scan.shards, 1));
     }
   };
@@ -411,7 +516,8 @@ TwoPhaseResult TwoPhaseRunner::run(sim::Network& network,
   if (job_.scan.shards <= 1) {
     if (capped) {
       SweepOutcome sweep_out =
-          run_sweep_phase(job_, network, job_.sweep_rate_pps, 0, 1);
+          run_sweep_phase(job_, network, job_.sweep_rate_pps,
+                          job_.scan.process_shard, job_.scan.process_shards);
       PromotionList entries = responsive_entries(sweep_out.records);
       const std::uint64_t responsive = entries.size();
       if (responsive > job_.max_promoted_hosts) {
@@ -419,7 +525,13 @@ TwoPhaseResult TwoPhaseRunner::run(sim::Network& network,
       }
       result.truncated = responsive - entries.size();
       result.promoted = entries.size();
-      result.sweep_records = std::move(sweep_out.records);
+      if (spilling) {
+        result.sweep_spill_files.push_back(
+            spill_sweep_records(job_.scan, job_.scan.process_shard,
+                                job_.scan.process_shards, sweep_out.records));
+      } else {
+        result.sweep_records = std::move(sweep_out.records);
+      }
       result.sweep = sweep_out.stats;
       ListOutcome phase2 =
           run_list_phase(job_.scan, network, std::move(entries), job_.scan.rate_pps,
@@ -429,14 +541,25 @@ TwoPhaseResult TwoPhaseRunner::run(sim::Network& network,
     } else {
       StreamingOutcome outcome = run_streaming_world(
           job_, network, job_.sweep_rate_pps, job_.scan.rate_pps,
-          job_.scan.max_outstanding, 0, 1, launched, record_sink);
-      result.sweep_records = std::move(outcome.sweep_records);
+          job_.scan.max_outstanding, job_.scan.process_shard,
+          job_.scan.process_shards, launched, record_sink);
+      if (spilling) {
+        result.sweep_spill_files.push_back(
+            spill_sweep_records(job_.scan, job_.scan.process_shard,
+                                job_.scan.process_shards, outcome.sweep_records));
+      } else {
+        result.sweep_records = std::move(outcome.sweep_records);
+      }
       result.sweep = outcome.sweep_stats;
       result.engine = outcome.engine_stats;
       result.duration = outcome.duration;
       result.promoted = outcome.promoted;
     }
-    result.records = sorted_records(std::move(tagged));
+    if (host_spill.has_value()) {
+      result.spill_files.push_back(finish_spill(*host_spill));
+    } else {
+      result.records = sorted_records(std::move(tagged));
+    }
     emit_progress(1, 1);
     return result;
   }
@@ -487,12 +610,17 @@ TwoPhaseResult TwoPhaseRunner::run(sim::Network& network,
   }
 
   std::vector<scan::SweepRecord> sweep_records;
+  std::vector<std::string> host_spills(shard_count);
+  std::vector<std::string> sweep_spills(shard_count);
   sim::SimTime phase1_duration{};
   sim::SimTime phase2_duration{};
   std::uint64_t shards_done = 0;
 
   if (capped) {
-    // Phase-1 barrier: collect every shard's sweep before truncating.
+    // Phase-1 barrier: collect every shard's responsive set (as cycle
+    // indices — the sweep records themselves stay on disk in spill mode)
+    // before truncating.
+    std::vector<std::uint64_t> responsive_cycles;
     std::uint64_t phase1_done = 0;
     while (phase1_done < shard_count) {
       auto message = channel.pop();
@@ -502,19 +630,22 @@ TwoPhaseResult TwoPhaseRunner::run(sim::Network& network,
       } else if (auto* fin = std::get_if<PhaseOneDone>(&*message)) {
         result.sweep += fin->stats;
         phase1_duration = std::max(phase1_duration, fin->duration);
+        responsive_cycles.insert(responsive_cycles.end(),
+                                 fin->responsive_cycles.begin(),
+                                 fin->responsive_cycles.end());
+        sweep_spills[fin->shard] = std::move(fin->sweep_spill_file);
         ++phase1_done;
       }
     }
     sort_by_cycle(sweep_records);
-    std::uint64_t responsive = 0;
-    std::uint64_t threshold = std::numeric_limits<std::uint64_t>::max();
-    for (const scan::SweepRecord& record : sweep_records) {
-      if (!record.responsive) continue;
-      ++responsive;
-      // Cycle indices are unique, so the K-th responsive record seen in
-      // cycle order carries exactly the K-th smallest index.
-      if (responsive == job_.max_promoted_hosts) threshold = record.cycle;
-    }
+    // Cycle indices are globally unique, so after sorting the merged
+    // responsive set, index K-1 carries exactly the K-th smallest index.
+    std::sort(responsive_cycles.begin(), responsive_cycles.end());
+    const std::uint64_t responsive = responsive_cycles.size();
+    const std::uint64_t threshold =
+        responsive >= job_.max_promoted_hosts
+            ? responsive_cycles[job_.max_promoted_hosts - 1]
+            : std::numeric_limits<std::uint64_t>::max();
     result.promoted = std::min<std::uint64_t>(responsive, job_.max_promoted_hosts);
     result.truncated = responsive - result.promoted;
     for (auto& reply : threshold_channels) reply->push(threshold);
@@ -527,6 +658,7 @@ TwoPhaseResult TwoPhaseRunner::run(sim::Network& network,
       } else if (auto* fin = std::get_if<ShardDone>(&*message)) {
         result.engine += fin->engine;
         phase2_duration = std::max(phase2_duration, fin->duration);
+        host_spills[fin->shard] = std::move(fin->spill_file);
         ++shards_done;
         emit_progress(shards_done, shard_count);
       }
@@ -544,6 +676,8 @@ TwoPhaseResult TwoPhaseRunner::run(sim::Network& network,
         result.sweep += fin->sweep;
         result.promoted += fin->promoted;
         phase1_duration = std::max(phase1_duration, fin->duration);
+        host_spills[fin->shard] = std::move(fin->spill_file);
+        sweep_spills[fin->shard] = std::move(fin->sweep_spill_file);
         ++shards_done;
         emit_progress(shards_done, shard_count);
       }
@@ -553,6 +687,12 @@ TwoPhaseResult TwoPhaseRunner::run(sim::Network& network,
   pool.wait();
   channel.close();
 
+  for (std::string& path : host_spills) {  // fixed shard order
+    if (!path.empty()) result.spill_files.push_back(std::move(path));
+  }
+  for (std::string& path : sweep_spills) {
+    if (!path.empty()) result.sweep_spill_files.push_back(std::move(path));
+  }
   result.sweep_records = std::move(sweep_records);
   result.records = sorted_records(std::move(tagged));
   result.duration = phase1_duration + phase2_duration;

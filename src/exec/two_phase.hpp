@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "exec/parallel_runner.hpp"
@@ -51,7 +52,9 @@ struct TwoPhaseJob {
   /// 0 = promote every responsive host, streaming them into phase 2 while
   /// the sweep runs. >0 = cap phase 2 at the K responsive hosts with the
   /// lowest global cycle indices (deterministic truncation; the sweep then
-  /// completes before phase 2 starts).
+  /// completes before phase 2 starts). With scan.process_shards > 1 the cap
+  /// is per process — each operator process truncates its own stride, since
+  /// processes cannot see each other's responsive sets.
   std::uint64_t max_promoted_hosts = 0;
 };
 
@@ -64,6 +67,12 @@ struct TwoPhaseResult {
   std::uint64_t address_space = 0;               // allowlist size, post-merge
   std::uint64_t promoted = 0;   // responsive hosts handed to phase 2
   std::uint64_t truncated = 0;  // responsive hosts dropped by the cap
+  // Spill mode (scan.spill_dir non-empty): records/sweep_records stay empty
+  // and the record streams live in these per-shard columnar spill files
+  // instead (host records and sweep records respectively), in shard order.
+  // Read them back in global cycle order with store::open_merge.
+  std::vector<std::string> spill_files;
+  std::vector<std::string> sweep_spill_files;
 };
 
 class TwoPhaseRunner {

@@ -1,0 +1,55 @@
+#include "store/crc32.hpp"
+
+#include <array>
+#include <cstddef>
+
+namespace iwscan::store {
+namespace {
+
+using Crc32Tables = std::array<std::array<std::uint32_t, 256>, 8>;
+
+consteval Crc32Tables make_crc32_tables() {
+  Crc32Tables tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? 0xEDB88320u : 0u);
+    }
+    tables[0][i] = crc;
+  }
+  // tables[k][b] = CRC of byte b followed by k zero bytes; lets the main
+  // loop fold 8 input bytes per step (slicing-by-8).
+  for (std::size_t k = 1; k < tables.size(); ++k) {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      const std::uint32_t prev = tables[k - 1][i];
+      tables[k][i] = (prev >> 8) ^ tables[0][prev & 0xFFu];
+    }
+  }
+  return tables;
+}
+
+constexpr Crc32Tables kTables = make_crc32_tables();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t crc = ~std::uint32_t{0};
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    crc ^= std::uint32_t{data[i]} | (std::uint32_t{data[i + 1]} << 8) |
+           (std::uint32_t{data[i + 2]} << 16) | (std::uint32_t{data[i + 3]} << 24);
+    // iwlint: allow(wire-taint) -- uint8_t values and &0xFF masks index
+    // 256-entry tables; every subscript is in range by construction
+    crc = kTables[7][crc & 0xFFu] ^ kTables[6][(crc >> 8) & 0xFFu] ^
+          kTables[5][(crc >> 16) & 0xFFu] ^ kTables[4][crc >> 24] ^
+          kTables[3][data[i + 4]] ^ kTables[2][data[i + 5]] ^
+          kTables[1][data[i + 6]] ^ kTables[0][data[i + 7]];
+  }
+  for (; i < data.size(); ++i) {
+    // iwlint: allow(wire-taint) -- (crc ^ byte) & 0xFF indexes a 256-entry table
+    crc = (crc >> 8) ^ kTables[0][(crc ^ data[i]) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace iwscan::store

@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over byte spans.
+//
+// Guards every spill segment (store/spill_format.hpp): the header carries a
+// CRC of itself and of its payload, so a truncated or bit-flipped tail is a
+// reported open() error instead of silently corrupt records. Slicing-by-8
+// keeps the check cheap enough to run at segment-flush rate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace iwscan::store {
+
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data) noexcept;
+
+}  // namespace iwscan::store

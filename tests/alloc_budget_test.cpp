@@ -14,10 +14,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "analysis/scan_runner.hpp"
 #include "inetmodel/internet.hpp"
 #include "netsim/event_loop.hpp"
 #include "netsim/network.hpp"
+#include "store/spill.hpp"
 
 namespace iwscan {
 namespace {
@@ -78,6 +81,50 @@ TEST(AllocBudget, ScanStaysWithinPerPacketAllocationBudget) {
   EXPECT_LT(per_packet, 10.5)
       << "allocations=" << allocations << " packets=" << packets
       << " per_packet=" << per_packet;
+}
+
+TEST(AllocBudget, SpillWriterSteadyStateAppendsAreAllocationFree) {
+  // SpillWriter::append is an IWSCAN_HOT root: after construction sizes
+  // the segment buffer and the first flush sizes the encode scratch, a
+  // sustained append stream must never touch operator new — the flush
+  // boundary reuses both buffers' capacity. Budget 0 per record; only the
+  // per-segment header/payload vectors may have grown once at the start.
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "iwscan_alloc_spill";
+  fs::remove_all(dir);
+  {
+    store::SpillConfig config;
+    config.directory = dir.string();
+    config.segment_bytes = 1u << 12;  // ~83 records/segment: many flushes
+    config.seed = 7;
+    store::SpillWriter<core::HostScanRecord> writer(config);
+
+    core::HostScanRecord record;
+    record.ip = net::IPv4Address{0x0a000001};
+    record.outcome = core::HostOutcome::Success;
+    record.iw_segments = 10;
+    record.iw_bytes = 14'600;
+    record.observed_mss = 1460;
+
+    // Warm the scratch buffers across the first few segments.
+    for (std::uint64_t cycle = 0; cycle < 512; ++cycle) {
+      writer.append(cycle, record);
+    }
+
+    const std::uint64_t before = util::alloc_stats::allocations();
+    const std::uint64_t appends = 1u << 16;
+    for (std::uint64_t cycle = 512; cycle < 512 + appends; ++cycle) {
+      writer.append(cycle, record);
+    }
+    const std::uint64_t allocations = util::alloc_stats::allocations() - before;
+
+    EXPECT_EQ(allocations, 0u)
+        << allocations << " allocations across " << appends
+        << " steady-state appends (" << writer.segments_flushed()
+        << " segments flushed)";
+    ASSERT_TRUE(writer.close()) << writer.error();
+  }
+  fs::remove_all(dir);
 }
 
 }  // namespace

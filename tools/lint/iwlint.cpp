@@ -45,13 +45,14 @@ const std::vector<ModuleSpec>& modules() {
       {"scanner", "scan", {"util", "netbase", "netsim"}},
       {"core", "core",
        {"util", "netbase", "netsim", "tcpstack", "httpd", "tls", "scanner"}},
+      {"store", "store", {"util", "netbase", "netsim", "scanner", "core"}},
       {"inetmodel", "model", {"util", "netbase", "netsim", "tcpstack", "httpd", "tls"}},
       {"exec", "exec",
        {"util", "netbase", "netsim", "tcpstack", "httpd", "tls", "scanner", "core",
-        "inetmodel"}},
+        "inetmodel", "store"}},
       {"analysis", "analysis",
        {"util", "netbase", "netsim", "tcpstack", "httpd", "tls", "scanner", "core",
-        "inetmodel", "exec"}},
+        "inetmodel", "store", "exec"}},
   };
   return specs;
 }
@@ -652,14 +653,18 @@ std::string_view rule_explanation(std::string_view rule) {
   if (rule == "hot-path") {
     return "Cross-TU reachability rule. Functions marked IWSCAN_HOT are the "
            "roots of the per-packet datapath (event-loop dispatch, fabric "
-           "send/deliver, TCP transmit, scanner rx, checksum folding). "
+           "send/deliver, TCP transmit, scanner rx, checksum folding, and "
+           "the spill datapath's per-record SpillWriter::append / "
+           "SegmentReader::next). "
            "Nothing transitively reachable from a root may allocate "
            "(new/make_unique/malloc), grow containers (push_back and "
            "friends), take locks, block, throw, or touch iostreams — the "
            "static complement of the runtime allocs-per-packet budget. "
            "IWSCAN_HOT_BOUNDARY marks audited hand-off points (virtual "
-           "per-packet entry points like Endpoint::handle_packet) where the "
-           "traversal stops; [[noreturn]] failure paths are exempt. Call "
+           "per-packet entry points like Endpoint::handle_packet, and "
+           "SpillWriter::flush_segment, which amortizes its sort + encode + "
+           "write over a whole segment) where the traversal stops; "
+           "[[noreturn]] failure paths are exempt. Call "
            "edges resolve by unqualified callee name, deliberately "
            "over-approximate: overload sets, virtual dispatch, and member "
            "calls through any object all count. Blind spots: implicit "

@@ -59,6 +59,12 @@ int main(int argc, char** argv) {
   flags.define_string("spill-dir", "",
                       "stream records into columnar spill files under this "
                       "directory instead of RAM (required for --shard i/N>1)");
+  flags.define_u64("cdn-fraction", 0,
+                   "percent of web hosts in CDN-eligible ASes overlaid as "
+                   "modern large-IW edges (paced flights, per-vhost tiers)");
+  flags.define_u64("epoch", 0,
+                   "longitudinal epoch: advances the deterministic IW/CDN-tier "
+                   "drift (0 = the paper's snapshot)");
   if (!flags.parse(argc, argv)) {
     std::fprintf(stderr, "%s\n%s", flags.error().c_str(),
                  flags.usage(argv[0]).c_str());
@@ -80,6 +86,8 @@ int main(int argc, char** argv) {
   sim::Network network(loop, /*seed=*/1);
   model::ModelConfig model_config;
   model_config.scale_log2 = 14;
+  model_config.cdn_fraction = static_cast<double>(flags.u64("cdn-fraction")) / 100.0;
+  model_config.epoch = static_cast<int>(flags.u64("epoch"));
   model::InternetModel internet(network, model_config);
   internet.install();
 

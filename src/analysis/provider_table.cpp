@@ -1,0 +1,198 @@
+#include "analysis/provider_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/table_writer.hpp"
+#include "store/spill.hpp"
+#include "util/strings.hpp"
+
+namespace iwscan::analysis {
+namespace {
+
+std::string render_table(const TextTable& table, bool markdown) {
+  if (!markdown) return table.render();
+  const std::string csv = table.csv();
+  std::string out;
+  bool header = true;
+  for (const auto line : util::split(csv, '\n')) {
+    if (line.empty()) continue;
+    out += "| ";
+    std::size_t columns = 0;
+    for (const auto cell : util::split(line, ',')) {
+      out += std::string(cell) + " | ";
+      ++columns;
+    }
+    out += '\n';
+    if (header) {
+      out += "|";
+      for (std::size_t i = 0; i < columns; ++i) out += "---|";
+      out += '\n';
+      header = false;
+    }
+  }
+  return out;
+}
+
+std::uint32_t histogram_median(const std::map<std::uint32_t, std::uint64_t>& hist) {
+  std::uint64_t total = 0;
+  for (const auto& [iw, count] : hist) total += count;
+  if (total == 0) return 0;
+  const std::uint64_t midpoint = (total + 1) / 2;
+  std::uint64_t seen = 0;
+  for (const auto& [iw, count] : hist) {
+    seen += count;
+    if (seen >= midpoint) return iw;
+  }
+  return hist.rbegin()->first;
+}
+
+}  // namespace
+
+std::vector<ProviderIwRow> provider_breakdown(
+    std::span<const core::HostScanRecord> records,
+    const model::AsRegistry& registry) {
+  // One slot per registry AS, filled in registry order so the output is
+  // deterministic regardless of record order.
+  std::vector<ProviderIwRow> slots(registry.all().size());
+  std::vector<bool> touched(slots.size(), false);
+
+  for (const auto& record : records) {
+    const model::AsInfo* as = registry.find(record.ip);
+    if (as == nullptr) continue;
+    std::size_t index = 0;
+    for (; index < registry.all().size(); ++index) {
+      if (&registry.all()[index] == as) break;
+    }
+    ProviderIwRow& row = slots[index];
+    if (!touched[index]) {
+      touched[index] = true;
+      row.asn = as->asn;
+      row.name = as->name;
+      row.kind = std::string(model::to_string(as->kind));
+    }
+    if (record.outcome == core::HostOutcome::Unreachable) continue;
+    ++row.reachable;
+    if (record.anomaly == core::ProbeAnomaly::PacedDelivery) ++row.paced;
+    switch (record.outcome) {
+      case core::HostOutcome::Success:
+        ++row.success;
+        ++row.histogram[record.iw_segments];
+        if (record.iw_segments >= 16) ++row.large_iw;
+        break;
+      case core::HostOutcome::FewData:
+        ++row.few_data;
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::vector<ProviderIwRow> rows;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!touched[i]) continue;
+    slots[i].median_iw = histogram_median(slots[i].histogram);
+    rows.push_back(std::move(slots[i]));
+  }
+  return rows;
+}
+
+std::string render_provider_table(std::span<const ProviderIwRow> rows,
+                                  bool markdown) {
+  TextTable table({"provider", "kind", "reachable", "success", "few data",
+                   "median IW", "IW>=16", "paced"});
+  for (const auto& row : rows) {
+    table.add_row({row.name, row.kind, std::to_string(row.reachable),
+                   std::to_string(row.success), std::to_string(row.few_data),
+                   std::to_string(row.median_iw),
+                   fmt_double(row.large_iw_share() * 100.0) + "%",
+                   fmt_double(row.paced_share() * 100.0) + "%"});
+  }
+  return render_table(table, markdown);
+}
+
+std::vector<EpochBreakdown> longitudinal_breakdown(
+    const LongitudinalOptions& options, std::string* error) {
+  std::vector<EpochBreakdown> out;
+  for (const int epoch : options.epochs) {
+    model::ModelConfig model_config = options.model;
+    model_config.epoch = epoch;
+
+    // Each epoch is a self-contained world on its own event loop: the same
+    // (seed, ip) draws plus the epoch's deterministic drift — nothing leaks
+    // from one epoch's scan into the next.
+    sim::EventLoop loop;
+    sim::Network network(loop, options.network_seed);
+    model::InternetModel internet(network, model_config);
+    internet.install();
+
+    ScanOptions scan = options.scan;
+    if (!scan.spill_dir.empty()) {
+      scan.spill_dir += "/epoch" + std::to_string(epoch);
+    }
+    const ScanOutput output = run_iw_scan(network, internet, scan);
+
+    EpochBreakdown breakdown;
+    breakdown.epoch = epoch;
+    if (!scan.spill_dir.empty()) {
+      std::vector<core::HostScanRecord> records;
+      std::string merge_error;
+      if (!store::read_merged<core::HostScanRecord>(output.spill_files, records,
+                                                    &merge_error)) {
+        if (error != nullptr) *error = merge_error;
+        return {};
+      }
+      breakdown.rows = provider_breakdown(records, internet.registry());
+    } else {
+      breakdown.rows = provider_breakdown(output.records, internet.registry());
+    }
+    out.push_back(std::move(breakdown));
+  }
+  return out;
+}
+
+std::string render_longitudinal_table(std::span<const EpochBreakdown> epochs,
+                                      bool markdown) {
+  // Row universe: providers in first-seen order across the epochs (registry
+  // order within an epoch, so the union is deterministic too).
+  std::vector<std::pair<std::uint32_t, std::string>> providers;
+  for (const auto& epoch : epochs) {
+    for (const auto& row : epoch.rows) {
+      const bool known =
+          std::any_of(providers.begin(), providers.end(),
+                      [&row](const auto& p) { return p.first == row.asn; });
+      if (!known) providers.emplace_back(row.asn, row.name);
+    }
+  }
+
+  std::vector<std::string> headers = {"provider"};
+  for (const auto& epoch : epochs) {
+    const std::string tag = "T" + std::to_string(epoch.epoch);
+    headers.push_back(tag + " success");
+    headers.push_back(tag + " median");
+    headers.push_back(tag + " IW>=16");
+    headers.push_back(tag + " paced");
+  }
+
+  TextTable table(std::move(headers));
+  for (const auto& [asn, name] : providers) {
+    std::vector<std::string> cells = {name};
+    for (const auto& epoch : epochs) {
+      const auto it = std::find_if(
+          epoch.rows.begin(), epoch.rows.end(),
+          [asn = asn](const ProviderIwRow& row) { return row.asn == asn; });
+      if (it == epoch.rows.end()) {
+        cells.insert(cells.end(), {"-", "-", "-", "-"});
+        continue;
+      }
+      cells.push_back(std::to_string(it->success));
+      cells.push_back(std::to_string(it->median_iw));
+      cells.push_back(fmt_double(it->large_iw_share() * 100.0) + "%");
+      cells.push_back(fmt_double(it->paced_share() * 100.0) + "%");
+    }
+    table.add_row(std::move(cells));
+  }
+  return render_table(table, markdown);
+}
+
+}  // namespace iwscan::analysis

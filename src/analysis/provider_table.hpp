@@ -1,0 +1,88 @@
+// IW-by-provider breakdown and the longitudinal (multi-epoch) drift tables.
+//
+// The per-provider view is the CDN-era refinement of the paper's Table 3:
+// instead of a handful of named networks, every AS in the registry gets a
+// row with its success counts, median measured IW, the share of large
+// (IW ≥ 16) windows, and how many of its hosts degraded to bounded
+// estimates because the first flight was paced (ProbeAnomaly::PacedDelivery).
+//
+// The longitudinal mode re-synthesizes the same world at epochs T0/T1/T2
+// (DriftParams/CdnParams drift is monotone and deterministic per host) and
+// scans each snapshot on a fresh event loop — the §5 trend-monitoring loop
+// in library form. Output is byte-identical across shard counts and under
+// the spill path, which cdn_test pins.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/scan_runner.hpp"
+#include "core/result.hpp"
+#include "inetmodel/as_registry.hpp"
+
+namespace iwscan::analysis {
+
+/// One provider (AS) row of the IW-by-provider breakdown.
+struct ProviderIwRow {
+  std::uint32_t asn = 0;
+  std::string name;
+  std::string kind;            // to_string(AsKind)
+  std::uint64_t reachable = 0;
+  std::uint64_t success = 0;
+  std::uint64_t few_data = 0;
+  std::uint64_t paced = 0;     // PacedDelivery anomalies (bounded estimates)
+  std::map<std::uint32_t, std::uint64_t> histogram;  // IW segments → successes
+  std::uint32_t median_iw = 0; // over successful estimates (0 if none)
+  std::uint64_t large_iw = 0;  // successes with IW ≥ 16 (the CDN tiers)
+
+  [[nodiscard]] double large_iw_share() const noexcept {
+    return success != 0 ? static_cast<double>(large_iw) /
+                              static_cast<double>(success)
+                        : 0.0;
+  }
+  [[nodiscard]] double paced_share() const noexcept {
+    return reachable != 0 ? static_cast<double>(paced) /
+                                static_cast<double>(reachable)
+                          : 0.0;
+  }
+};
+
+/// Groups records by the AS owning each address. Rows come out in registry
+/// order (deterministic); ASes no record fell into are omitted.
+[[nodiscard]] std::vector<ProviderIwRow> provider_breakdown(
+    std::span<const core::HostScanRecord> records,
+    const model::AsRegistry& registry);
+
+/// Render the breakdown as an aligned text table (or Markdown).
+[[nodiscard]] std::string render_provider_table(
+    std::span<const ProviderIwRow> rows, bool markdown = false);
+
+/// One epoch of the longitudinal mode.
+struct EpochBreakdown {
+  int epoch = 0;
+  std::vector<ProviderIwRow> rows;
+};
+
+struct LongitudinalOptions {
+  model::ModelConfig model;  // `epoch` is overridden per run
+  ScanOptions scan;          // spill_dir gets a per-epoch subdirectory
+  std::vector<int> epochs = {0, 1, 2};
+  std::uint64_t network_seed = 1;
+};
+
+/// Runs one scan per epoch against a freshly-synthesized world (same seed,
+/// the drift/CDN epoch advanced). With scan.spill_dir set, each epoch
+/// spills under "<dir>/epoch<N>" and is read back through the K-way merge.
+/// Returns an empty vector (with `*error` set, if given) on spill failures.
+[[nodiscard]] std::vector<EpochBreakdown> longitudinal_breakdown(
+    const LongitudinalOptions& options, std::string* error = nullptr);
+
+/// The drift table: one row per provider, one column group per epoch
+/// (successes, median IW, IW ≥ 16 share, paced share).
+[[nodiscard]] std::string render_longitudinal_table(
+    std::span<const EpochBreakdown> epochs, bool markdown = false);
+
+}  // namespace iwscan::analysis

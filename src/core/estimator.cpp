@@ -124,6 +124,8 @@ void IwEstimator::on_collect_data(const net::TcpSegment& segment) {
     if (last_data_at_ != sim::SimTime::min() && now - last_data_at_ >= sim::msec(400)) {
       ++trickle_gaps_;  // slowloris evidence: fresh data after a long gap
     }
+    if (first_data_at_ == sim::SimTime::min()) first_data_at_ = now;
+    if (now != last_data_at_) ++fresh_arrival_instants_;
     last_data_at_ = now;
     record_range(start, end, segment.payload);
   }
@@ -225,6 +227,25 @@ bool IwEstimator::contiguous_from_zero(std::uint64_t upto) const noexcept {
 void IwEstimator::enter_verify() {
   phase_ = Phase::Verify;
   observation_.loss_holes = ranges_.size() > 1;  // holes inside the burst
+
+  // Pacing evidence. The sender's RTO ran from its first data segment to
+  // the retransmission that got us here, and the network shifts both
+  // endpoints of that window by the same one-way latency — so
+  // now − first_data_at_ is the sender's RTO window as observed on our
+  // side, and the fresh-data span measures how much of it the first
+  // flight occupied. A burst spans only the path jitter; a paced flight
+  // covers a fixed fraction of the window, and its byte count is then a
+  // lower bound, not an exact IW (conclude() downgrades Success).
+  if (first_data_at_ != sim::SimTime::min() &&
+      observation_.anomaly == ProbeAnomaly::None) {
+    const std::int64_t window = (services_.loop().now() - first_data_at_).count();
+    const std::int64_t span = (last_data_at_ - first_data_at_).count();
+    if (window > 0 &&
+        span * 100 >= window * static_cast<std::int64_t>(config_.paced_window_percent) &&
+        fresh_arrival_instants_ >= config_.paced_min_arrivals) {
+      observation_.anomaly = ProbeAnomaly::PacedDelivery;
+    }
+  }
   // Acknowledge everything received, advertising a window of just
   // 2·MSS: enough to see whether more data exists without being flooded.
   const std::uint32_t ack = data_base_ + static_cast<std::uint32_t>(max_end_);
@@ -237,6 +258,13 @@ void IwEstimator::enter_verify() {
 
 void IwEstimator::conclude(ConnOutcome outcome) {
   if (phase_ == Phase::Done) return;
+  // A paced first flight is never an exact-IW success: the bytes counted
+  // before the retransmission bound the IW from below, but the pacer may
+  // have withheld more. Degrade to the FewData (lower-bound) verdict.
+  if (observation_.anomaly == ProbeAnomaly::PacedDelivery &&
+      outcome == ConnOutcome::Success) {
+    outcome = ConnOutcome::FewData;
+  }
   const bool had_connection = phase_ != Phase::SynSent || outcome == ConnOutcome::Refused;
   phase_ = Phase::Done;
   services_.loop().cancel(timer_);

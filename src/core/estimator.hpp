@@ -34,6 +34,15 @@ struct EstimatorConfig {
   sim::SimTime collect_timeout = sim::sec(12);
   sim::SimTime verify_timeout = sim::sec(3);
   std::size_t prefix_cap = 16 * 1024;  // in-order payload kept for analysis
+
+  // Pacing evidence (ProbeAnomaly::PacedDelivery): the first flight counts
+  // as paced — not a burst — when the span from first to last fresh data
+  // byte covers at least this percentage of the first-data → retransmission
+  // window, over at least `paced_min_arrivals` distinct arrival instants.
+  // A genuine burst spans only the path jitter (≪ the RTO window); a CDN
+  // pacer spreads its flight over RTT multiples, far past this threshold.
+  std::uint32_t paced_window_percent = 8;
+  std::uint32_t paced_min_arrivals = 3;
 };
 
 class IwEstimator {
@@ -105,6 +114,13 @@ class IwEstimator {
   bool request_acked_ = false;
   std::uint32_t trickle_gaps_ = 0;
   sim::SimTime last_data_at_ = sim::SimTime::min();
+
+  // Pacing evidence: arrival instants of the first and last fresh data
+  // byte, and how many distinct instants delivered fresh data. Evaluated
+  // against the RTO window when the retransmission closes the collect
+  // phase (enter_verify).
+  sim::SimTime first_data_at_ = sim::SimTime::min();
+  std::uint32_t fresh_arrival_instants_ = 0;
 
   ConnObservation observation_;
   sim::EventId timer_ = sim::kNullEvent;

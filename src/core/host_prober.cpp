@@ -33,6 +33,10 @@ std::unique_ptr<ProbeStrategy> HostProber::make_strategy() {
   TlsStrategyConfig tls;
   tls.offer_ocsp_stapling = config_.tls_offer_ocsp;
   tls.seed = services_.session_seed(target_);
+  // Curated mode carries over to TLS as a curated SNI: with prior knowledge
+  // of the vhost name, the probe measures the named service's IW instead of
+  // the IP-as-Host default.
+  tls.server_name = config_.curated_host;
   return make_tls_strategy(tls);
 }
 

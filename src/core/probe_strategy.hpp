@@ -52,6 +52,11 @@ struct HttpStrategyConfig {
 struct TlsStrategyConfig {
   bool offer_ocsp_stapling = true;  // §3.3: "extensions for requesting OCSP"
   std::uint64_t seed = 0;           // ClientHello random
+  // Curated-SNI mode (the TLS analogue of the §5 URL lists): when
+  // non-empty, the ClientHello carries this server_name. Required to reach
+  // per-vhost IW configs on multi-tenant CDN edges; the default (no SNI)
+  // measures the IP-as-Host window.
+  std::string server_name;
 };
 
 /// TLS probe: ClientHello with the 40-cipher browser-union list; the

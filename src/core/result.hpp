@@ -50,6 +50,8 @@ enum class ProbeAnomaly : std::uint8_t {
   TlsFatalAlert,        // TLS fatal alert instead of a ServerHello
   ShrinkingRetransmit,  // partially-overlapping / shrinking retransmissions
   BudgetExceeded,       // engine killed the session (wall/bytes/segments)
+  PacedDelivery,        // first flight trickled across the RTO window (CDN
+                        // pacing): the burst count is a lower bound only
 };
 
 [[nodiscard]] constexpr std::string_view to_string(ProbeAnomaly anomaly) noexcept {
@@ -66,6 +68,7 @@ enum class ProbeAnomaly : std::uint8_t {
     case ProbeAnomaly::TlsFatalAlert: return "tls-fatal-alert";
     case ProbeAnomaly::ShrinkingRetransmit: return "shrinking-retransmit";
     case ProbeAnomaly::BudgetExceeded: return "budget-exceeded";
+    case ProbeAnomaly::PacedDelivery: return "paced-delivery";
   }
   return "?";
 }

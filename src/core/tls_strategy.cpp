@@ -18,11 +18,17 @@ class TlsStrategy final : public ProbeStrategy {
     for (auto& byte : hello.random) byte = static_cast<std::uint8_t>(rng());
     const auto probe_list = tls::probe_cipher_list();
     hello.cipher_suites.assign(probe_list.begin(), probe_list.end());
-    // No SNI: the scan enumerates IPs without forward-DNS knowledge (§4,
-    // "missing Server Name Indication" explains part of the few-data TLS
-    // hosts). OCSP stapling is requested to coax even more first-flight
-    // bytes out of the server (§3.3).
-    hello.server_name.reset();
+    // No SNI by default: the scan enumerates IPs without forward-DNS
+    // knowledge (§4, "missing Server Name Indication" explains part of the
+    // few-data TLS hosts). Curated-SNI mode names a known vhost instead —
+    // the only way to measure per-vhost IW tiers on multi-tenant edges.
+    // OCSP stapling is requested to coax even more first-flight bytes out
+    // of the server (§3.3).
+    if (config_.server_name.empty()) {
+      hello.server_name.reset();
+    } else {
+      hello.server_name = config_.server_name;
+    }
     hello.ocsp_stapling = config_.offer_ocsp_stapling;
 
     const net::Bytes body = hello.encode();

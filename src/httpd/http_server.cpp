@@ -43,6 +43,15 @@ HttpServerApp::~HttpServerApp() {
 }
 
 void HttpServerApp::respond(tcp::TcpConnection& conn, const HttpRequest& request) {
+  // Per-vhost IW: a request naming the canonical vhost is served from the
+  // vhost's (larger) first-flight config. Must precede the first response
+  // byte — set_initial_window is a no-op once the flight has started.
+  if (config_.vhost_iw && !config_.canonical_name.empty()) {
+    const auto host = request.header("Host");
+    if (host && util::iequals(*host, config_.canonical_name)) {
+      conn.set_initial_window(*config_.vhost_iw);
+    }
+  }
   const HttpResponse response = build_response(request);
   const bool close_after = request.wants_close() || response.status == 301;
   const std::string wire = response.serialize();

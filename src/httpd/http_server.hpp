@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "httpd/http_message.hpp"
@@ -41,6 +42,11 @@ struct WebConfig {
   // 404 body overhead around the echoed URI.
   std::size_t not_found_extra = 160;
   sim::SimTime processing_delay = sim::SimTime::zero();
+  // Per-vhost IW split (CDN edges): requests whose Host header names the
+  // canonical vhost are answered with this IwConfig instead of the
+  // listener's default — applied before the first response byte, so
+  // IP-as-Host probing measures a different window than named probing.
+  std::optional<tcp::IwConfig> vhost_iw;
 };
 
 /// Per-connection HTTP application. Create via factory() for TcpHost.

@@ -240,6 +240,14 @@ AsArchetype popular_archetype_for(const AsArchetype& base) {
   a.tls.sni_alert = 0.05;
   a.tls.sni_silent = 0.02;
   a.tls.exotic_cipher = 0.005;
+  // Popularity-weighted CDN tiers: the popular sub-block of a CDN-eligible
+  // AS skews toward the premium (larger-IW) tiers — high-traffic customers
+  // buy the aggressive first-flight plans.
+  if (base.cdn_eligible()) {
+    a.cdn_tier_weights = {base.cdn_tier_weights[0] * 0.25,
+                          base.cdn_tier_weights[1],
+                          base.cdn_tier_weights[2] * 3.0};
+  }
   return a;
 }
 
@@ -296,6 +304,10 @@ AsRegistry AsRegistry::standard(int scale_log2) {
     cloudflare.http.abort = 0.01;
     cloudflare.host_density = 0.60;
     cloudflare.rdns_tag = "cflare";
+    cloudflare.cdn_tier_weights = {55, 35, 10};  // IW16 / IW32 / IW50
+    cloudflare.cdn_paced_share = 0.40;
+    cloudflare.cdn_byte_tier_share = 0.15;
+    cloudflare.cdn_vhost_share = 0.35;
     specs.push_back({13335, "Cloudflare", AsKind::Cdn, 6, "cloudflare", cloudflare});
 
     AsArchetype akamai = content_archetype();
@@ -314,12 +326,20 @@ AsRegistry AsRegistry::standard(int scale_log2) {
     akamai.tls.sni_silent = 0.0;
     akamai.host_density = 0.55;
     akamai.rdns_tag = "akam";
+    akamai.cdn_tier_weights = {70, 25, 5};
+    akamai.cdn_paced_share = 0.25;
+    akamai.cdn_byte_tier_share = 0.30;  // per-customer byte budgets
+    akamai.cdn_vhost_share = 0.50;      // heavily multi-tenant edges
     specs.push_back({20940, "Akamai", AsKind::Cdn, 5, "akamai", akamai});
 
     AsArchetype fastly = content_archetype();
     fastly.http.iw_mix = segs({{10, 97}, {20, 3}});
     fastly.tls.iw_mix = segs({{10, 96}, {25, 4}});
     fastly.rdns_tag = "fastish";
+    fastly.cdn_tier_weights = {40, 40, 20};
+    fastly.cdn_paced_share = 0.55;  // aggressive pacer deployment
+    fastly.cdn_byte_tier_share = 0.10;
+    fastly.cdn_vhost_share = 0.30;
     specs.push_back({54113, "Fastly", AsKind::Cdn, 7, "", fastly});
   }
 
@@ -434,6 +454,47 @@ AsRegistry AsRegistry::standard(int scale_log2) {
     satellite.tls.iw_mix = segs({{1, 12}, {2, 30}, {4, 48}, {10, 10}});
     satellite.rdns_tag = "satbeam";
     specs.push_back({22351, "SatNet", AsKind::Access, 8, "access", satellite});
+  }
+
+  {  // --- Modern-stack CDNs (longitudinal follow-up population) ---
+    // Two edges born after the 2017 measurement: their whole populations
+    // already run the large-IW tiers, so the per-provider breakdown has
+    // providers whose medians sit at 16/32/50 from epoch T0.
+    AsArchetype limelight = content_archetype();
+    limelight.http.iw_mix = segs({{10, 30}, {16, 40}, {32, 25}, {50, 5}});
+    limelight.tls.iw_mix = segs({{10, 34}, {16, 40}, {32, 22}, {50, 4}});
+    add_bytes_entry(limelight.http.iw_mix, 16 * 1024, 4.0);  // byte-tiered plans
+    limelight.http.success_direct = 0.52;
+    limelight.http.success_redirect = 0.22;
+    limelight.http.success_echo = 0.04;
+    limelight.http.few_data = 0.18;
+    limelight.http.no_data = 0.02;
+    limelight.http.abort = 0.02;
+    limelight.host_density = 0.50;
+    limelight.rdns_tag = "llnw-edge";
+    limelight.cdn_tier_weights = {35, 45, 20};
+    limelight.cdn_paced_share = 0.50;
+    limelight.cdn_byte_tier_share = 0.20;
+    limelight.cdn_vhost_share = 0.40;
+    specs.push_back({22822, "Limelight", AsKind::Cdn, 7, "", limelight});
+
+    AsArchetype gcore = content_archetype();
+    gcore.http.iw_mix = segs({{10, 42}, {16, 30}, {32, 20}, {50, 8}});
+    gcore.tls.iw_mix = segs({{10, 46}, {16, 30}, {32, 18}, {50, 6}});
+    add_bytes_entry(gcore.tls.iw_mix, 24 * 1024, 3.0);
+    gcore.http.success_direct = 0.50;
+    gcore.http.success_redirect = 0.24;
+    gcore.http.success_echo = 0.04;
+    gcore.http.few_data = 0.18;
+    gcore.http.no_data = 0.02;
+    gcore.http.abort = 0.02;
+    gcore.host_density = 0.45;
+    gcore.rdns_tag = "gcore-edge";
+    gcore.cdn_tier_weights = {30, 40, 30};
+    gcore.cdn_paced_share = 0.60;
+    gcore.cdn_byte_tier_share = 0.15;
+    gcore.cdn_vhost_share = 0.35;
+    specs.push_back({199524, "G-Core", AsKind::Cdn, 7, "", gcore});
   }
 
   // Allocate contiguous power-of-two blocks from 10.0.0.0, largest first so

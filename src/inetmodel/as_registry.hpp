@@ -13,6 +13,7 @@
 // IP alone, keeping host synthesis a pure function.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -99,6 +100,20 @@ struct AsArchetype {
   bool rdns_is_isp = false;       // appears on the access-classifier lists
   HttpArchetype http;
   TlsArchetype tls;
+
+  // CDN overlay eligibility (the 2019 follow-up; see CdnParams in
+  // profiles.hpp). Relative weights for the IW16/IW32/IW50 tiers assigned
+  // to overlaid hosts — all-zero means the AS never hosts a CDN edge and
+  // the overlay skips it entirely. Popular sub-blocks bias toward the
+  // higher tiers (popularity-weighted IW, Fig. 4 style).
+  std::array<double, 3> cdn_tier_weights{0.0, 0.0, 0.0};
+  double cdn_paced_share = 0.0;      // of overlaid hosts: paced first flight
+  double cdn_byte_tier_share = 0.0;  // of overlaid hosts: byte-budget tiers
+  double cdn_vhost_share = 0.0;      // of overlaid hosts: per-vhost IW split
+
+  [[nodiscard]] bool cdn_eligible() const noexcept {
+    return cdn_tier_weights[0] + cdn_tier_weights[1] + cdn_tier_weights[2] > 0.0;
+  }
 };
 
 struct AsInfo {

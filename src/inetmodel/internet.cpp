@@ -108,6 +108,10 @@ std::unique_ptr<tcp::TcpHost> InternetModel::build_host(net::IPv4Address ip,
     } else {
       http::WebConfig web;
       web.server_header = server_header;
+      if (gt.http_vhost_iw) {
+        web.vhost_iw = gt.http_vhost_iw;
+        web.canonical_name = gt.canonical_name;
+      }
       switch (gt.http_category) {
         case HttpCategory::SuccessDirect:
           web.root = http::RootBehavior::Page;
@@ -162,6 +166,7 @@ std::unique_ptr<tcp::TcpHost> InternetModel::build_host(net::IPv4Address ip,
       cfg.server_name = gt.canonical_name;
       cfg.seed = util::mix64(config_.seed, ip.value() ^ 3);
       cfg.ocsp_staple = gt.ocsp_staple;
+      cfg.sni_iw = gt.tls_vhost_iw;
       switch (gt.tls_category) {
         case TlsCategory::Normal:
           cfg.sni_policy = tls::SniPolicy::Ignore;

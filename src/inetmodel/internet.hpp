@@ -35,6 +35,12 @@ struct ModelConfig {
   // Upgrades are deterministic per host and monotone across epochs.
   int epoch = 0;
   double upgrade_rate_per_epoch = 0.06;
+  // CDN overlay (modern-stack follow-up): this fraction of present web hosts
+  // inside CDN-eligible ASes become tiered large-IW edges (paced first
+  // flights, per-vhost splits). Dedicated RNG stream: 0.0 reproduces
+  // pre-overlay worlds exactly. Tier drift shares `epoch` above.
+  double cdn_fraction = 0.0;
+  double cdn_tier_upgrade_rate = 0.08;
 };
 
 class InternetModel {
@@ -56,7 +62,8 @@ class InternetModel {
   [[nodiscard]] GroundTruth truth(net::IPv4Address ip) const {
     return synthesize_host(registry_, config_.seed, ip,
                            DriftParams{config_.epoch, config_.upgrade_rate_per_epoch},
-                           AdversarialParams{config_.adversarial_fraction});
+                           AdversarialParams{config_.adversarial_fraction},
+                           CdnParams{config_.cdn_fraction, config_.cdn_tier_upgrade_rate});
   }
 
   [[nodiscard]] std::size_t live_hosts() const noexcept { return hosts_.size(); }

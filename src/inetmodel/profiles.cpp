@@ -67,22 +67,27 @@ std::size_t http_response_overhead(std::string_view server_header, int status,
 }
 
 std::uint32_t GroundTruth::true_iw_segments(bool for_tls,
-                                            std::uint16_t announced_mss) const {
-  const tcp::IwConfig& iw = for_tls ? tls_iw : http_iw;
+                                            std::uint16_t announced_mss,
+                                            bool vhost) const {
+  const tcp::IwConfig* iw = for_tls ? &tls_iw : &http_iw;
+  if (vhost) {
+    const auto& split = for_tls ? tls_vhost_iw : http_vhost_iw;
+    if (split) iw = &*split;
+  }
   const std::uint16_t eff = tcp::effective_mss(os, announced_mss, 1460);
-  const std::uint32_t cwnd = iw.initial_cwnd(eff);
+  const std::uint32_t cwnd = iw->initial_cwnd(eff);
   return (cwnd + eff - 1) / eff;  // partial trailing segment counts
 }
 
 namespace {
 
-/// Epoch at which a host's kernel upgrade lands: geometric in the per-epoch
-/// rate, deterministic per (seed, ip), ≥ 1.
-int upgrade_epoch(std::uint64_t seed, net::IPv4Address ip, double rate) {
+/// Epoch at which a host's (salt-identified) upgrade lands: geometric in the
+/// per-epoch rate, deterministic per (seed, salt, ip), ≥ 1.
+int upgrade_epoch(std::uint64_t seed, std::uint64_t salt, net::IPv4Address ip,
+                  double rate) {
   if (rate <= 0.0) return std::numeric_limits<int>::max();
   const double u =
-      static_cast<double>(util::mix64(seed ^ 0xeb0c4ULL, ip.value()) >> 11) *
-      0x1.0p-53;
+      static_cast<double>(util::mix64(seed ^ salt, ip.value()) >> 11) * 0x1.0p-53;
   const double epochs = std::log(1.0 - u) / std::log(1.0 - std::min(rate, 0.999));
   return 1 + static_cast<int>(epochs);
 }
@@ -91,7 +96,8 @@ int upgrade_epoch(std::uint64_t seed, net::IPv4Address ip, double rate) {
 
 GroundTruth synthesize_host(const AsRegistry& registry, std::uint64_t seed,
                             net::IPv4Address ip, const DriftParams& drift,
-                            const AdversarialParams& adversarial) {
+                            const AdversarialParams& adversarial,
+                            const CdnParams& cdn) {
   GroundTruth gt;
   const AsInfo* as = registry.find(ip);
   if (as == nullptr) return gt;
@@ -138,7 +144,8 @@ GroundTruth synthesize_host(const AsRegistry& registry, std::uint64_t seed,
   // Linux host's deterministic kernel-update epoch passes, it runs IW 10 —
   // one kernel, so both services upgrade together.
   if (drift.epoch > 0 && gt.os == tcp::OsProfile::Linux &&
-      drift.epoch >= upgrade_epoch(seed, ip, drift.upgrade_rate_per_epoch)) {
+      drift.epoch >=
+          upgrade_epoch(seed, 0xeb0c4ULL, ip, drift.upgrade_rate_per_epoch)) {
     const auto upgrade = [](tcp::IwConfig& iw) {
       if (iw.policy == tcp::IwPolicy::Segments && iw.segments <= 4) {
         iw = tcp::IwConfig::segments_of(10);
@@ -278,6 +285,112 @@ GroundTruth synthesize_host(const AsRegistry& registry, std::uint64_t seed,
         candidates[count++] = behavior;
       }
       gt.adversary = candidates[adv_rng.between(0, count - 1)];
+    }
+  }
+
+  // ---- CDN overlay ---------------------------------------------------------
+  // Modern-stack follow-up: a fraction of the web hosts inside CDN-eligible
+  // ASes become edges running the tiered large-IW plans, optionally paced
+  // and optionally with a per-vhost IW split. Like the adversarial overlay,
+  // everything is drawn from a dedicated stream so fraction == 0 worlds are
+  // byte-identical to pre-overlay ones. Adversaries win: a hostile stack is
+  // not also a CDN edge.
+  if (cdn.fraction > 0.0 && gt.present && !gt.adversary &&
+      (gt.http || gt.tls) && arch.cdn_eligible()) {
+    util::Rng cdn_rng(util::mix64(seed ^ 0xcd17ULL, ip.value()));
+    if (cdn_rng.chance(cdn.fraction)) {
+      // Base tier 1..3 (IW16 / IW32 / IW50), popularity-weighted per AS.
+      int tier = 1 + static_cast<int>(cdn_rng.weighted(arch.cdn_tier_weights));
+      // Longitudinal tier drift: each upgrade step lands at a deterministic
+      // geometric epoch (pure in (seed, step, ip) — the draws themselves
+      // never depend on the epoch, so advancing the epoch only ever raises
+      // the tier: monotone drift).
+      for (int step = 0; tier < 3; ++step) {
+        int lands_at = 0;
+        for (int s = 0; s <= step; ++s) {
+          const int draw = upgrade_epoch(seed, 0x7d21fULL + static_cast<std::uint64_t>(s),
+                                         ip, cdn.tier_upgrade_rate_per_epoch);
+          if (draw >= std::numeric_limits<int>::max() - lands_at) {
+            lands_at = std::numeric_limits<int>::max();
+            break;
+          }
+          lands_at += draw;
+        }
+        if (lands_at > drift.epoch) break;
+        ++tier;
+      }
+      gt.cdn_tier = static_cast<std::uint8_t>(tier);
+      gt.os = tcp::OsProfile::Linux;  // the edge fleets are Linux-derived
+
+      // Tier → IwConfig: segment plans by default, byte-budget plans for a
+      // share of edges (16/24/32 KiB for tiers 1/2/3).
+      const bool byte_tiered = cdn_rng.chance(arch.cdn_byte_tier_share);
+      const auto tier_config = [byte_tiered](int t) {
+        if (byte_tiered) {
+          return tcp::IwConfig::byte_tier_kib(t == 1 ? 16u : t == 2 ? 24u : 32u);
+        }
+        return t == 1 ? tcp::IwConfig::iw16()
+                      : t == 2 ? tcp::IwConfig::iw32() : tcp::IwConfig::iw50();
+      };
+      tcp::IwConfig edge_iw = tier_config(tier);
+
+      // Paced first flight: spread well past the detection threshold even at
+      // the model's minimum RTT (16 ms × 600% = 96 ms > the 80 ms default).
+      const bool paced = cdn_rng.chance(arch.cdn_paced_share);
+      const std::uint32_t spreads[] = {600, 800, 1200};
+      const std::uint32_t spread =
+          spreads[cdn_rng.between(0, 2)];  // drawn even when unused: fixed stream
+      if (paced) edge_iw = edge_iw.paced_over(spread);
+
+      // Per-vhost split: requests naming the canonical host get the next
+      // tier up; a tier-3 edge flips representation (segments ↔ bytes) so
+      // the vhost config is still distinct from the IP-as-Host one.
+      const bool vhost_split = cdn_rng.chance(arch.cdn_vhost_share);
+      if (vhost_split) {
+        tcp::IwConfig vhost_iw =
+            tier < 3 ? tier_config(tier + 1)
+                     : (byte_tiered ? tcp::IwConfig::iw50()
+                                    : tcp::IwConfig::byte_tier_kib(32));
+        if (paced) vhost_iw = vhost_iw.paced_over(spread);
+        if (gt.http) gt.http_vhost_iw = vhost_iw;
+        if (gt.tls) gt.tls_vhost_iw = vhost_iw;
+      }
+      if (gt.http) gt.http_iw = edge_iw;
+      if (gt.tls) gt.tls_iw = edge_iw;
+
+      // An edge always serves real content: force the success categories and
+      // resize the page so even the largest (vhost) config overflows at both
+      // announced MSSes, with verification slack.
+      if (gt.canonical_name.empty()) {
+        gt.canonical_name =
+            "www.site-" + hex_name(util::mix64(seed, ip.value() ^ 1)) + ".example";
+      }
+      const std::uint16_t eff64 = tcp::effective_mss(gt.os, 64, 1460);
+      const std::uint16_t eff128 = tcp::effective_mss(gt.os, 128, 1460);
+      std::size_t need = 0;
+      const auto consider = [&need, eff64, eff128](const tcp::IwConfig& iw) {
+        need = std::max({need, std::size_t{iw.initial_cwnd(eff64)},
+                         std::size_t{iw.initial_cwnd(eff128)}});
+      };
+      consider(edge_iw);
+      if (gt.http_vhost_iw) consider(*gt.http_vhost_iw);
+      if (gt.tls_vhost_iw) consider(*gt.tls_vhost_iw);
+      need += 2 * std::size_t{eff128};
+      const double extra =
+          400.0 - 2800.0 * std::log(1.0 - cdn_rng.uniform01() + 1e-12);
+      if (gt.http) {
+        gt.http_category = HttpCategory::SuccessDirect;
+        gt.http_page_bytes = need + static_cast<std::size_t>(extra);
+        gt.redirect_page_bytes = 0;
+        gt.few_bound = 0;
+      }
+      if (gt.tls) {
+        gt.tls_category = TlsCategory::Normal;
+        // Edge chains are padded (full chains, SCTs, OCSP) well past the
+        // Fig. 2 mean — large enough that the ServerHello flight overflows
+        // even the vhost window, so TLS probes measure the IW, not the chain.
+        gt.chain_bytes = std::max(gt.chain_bytes, need + 512);
+      }
     }
   }
   return gt;

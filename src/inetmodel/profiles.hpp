@@ -44,10 +44,22 @@ struct GroundTruth {
   // by the named pathology (see inetmodel/adversarial.hpp).
   std::optional<AdversarialBehavior> adversary;
 
+  // CDN overlay (modern-stack follow-up). Tier 0 = not overlaid; tiers
+  // 1/2/3 map to the IW16/IW32/IW50 (or 16/24/32 KiB byte-budget) plans.
+  // When the vhost configs are set, the edge serves a *different* IwConfig
+  // for requests naming the canonical host (Host header / SNI) than for
+  // IP-as-Host probes — the per-vhost split real CDNs exhibit.
+  std::uint8_t cdn_tier = 0;
+  std::optional<tcp::IwConfig> http_vhost_iw;
+  std::optional<tcp::IwConfig> tls_vhost_iw;
+
   /// True IW in segments for a protocol, under an announced MSS, given the
   /// host's OS clamping — the value a perfect estimator should measure.
+  /// `vhost` selects the per-vhost config (requests that name the canonical
+  /// host); it falls back to the default config when the host has no split.
   [[nodiscard]] std::uint32_t true_iw_segments(bool for_tls,
-                                               std::uint16_t announced_mss) const;
+                                               std::uint16_t announced_mss,
+                                               bool vhost = false) const;
 };
 
 /// Longitudinal drift parameters (the §5 trend-monitoring extension).
@@ -63,12 +75,25 @@ struct AdversarialParams {
   double fraction = 0.0;
 };
 
+/// CDN overlay parameters: `fraction` of present web hosts inside
+/// CDN-eligible ASes (see AsArchetype::cdn_tier_weights) become modern CDN
+/// edges with tiered large IWs, paced first flights, and per-vhost splits.
+/// Drawn from a dedicated RNG stream, so fraction == 0 worlds are
+/// byte-identical to pre-overlay ones. Tier drift is monotone in the epoch:
+/// an edge only ever moves to a higher tier as epochs advance.
+struct CdnParams {
+  double fraction = 0.0;
+  double tier_upgrade_rate_per_epoch = 0.08;
+};
+
 /// Synthesize the ground truth for one address. Pure in (seed, ip, drift,
-/// adversarial); upgrades are monotone in the epoch (a host never downgrades).
+/// adversarial, cdn); upgrades are monotone in the epoch (a host never
+/// downgrades).
 [[nodiscard]] GroundTruth synthesize_host(const AsRegistry& registry,
                                           std::uint64_t seed, net::IPv4Address ip,
                                           const DriftParams& drift = {},
-                                          const AdversarialParams& adversarial = {});
+                                          const AdversarialParams& adversarial = {},
+                                          const CdnParams& cdn = {});
 
 /// Exact on-wire size of an HTTP response head + body produced by our
 /// httpd for the given parameters (used to hit few-data bound targets).

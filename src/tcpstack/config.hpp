@@ -50,10 +50,39 @@ enum class IwPolicy {
   Bytes,     // cwnd_0 = fixed byte budget regardless of MSS (§4.2 hosts)
 };
 
+enum class PacingMode : std::uint8_t {
+  Burst,  // whole initial window back-to-back (the paper's §3 assumption)
+  Paced,  // first flight spread over a fraction of the handshake RTT
+};
+
+/// First-flight delivery policy. CDN edge stacks ("Demystifying TCP Initial
+/// Window Configurations of CDNs") pace the initial window across the RTT
+/// instead of bursting it, which removes the clean burst the
+/// count-bytes-before-RTO method relies on. The schedule itself is built by
+/// build_pacing_schedule() (pacing.hpp) from a per-connection seed, so a
+/// paced host's wire behaviour is bit-reproducible.
+struct PacingPolicy {
+  PacingMode mode = PacingMode::Burst;
+  // Fraction of the measured handshake RTT the first flight is spread over,
+  // in percent (100 = one full RTT). The schedule is additionally capped at
+  // 9/10 of the sender's RTO so pacing never trips its own retransmit timer.
+  std::uint32_t spread_rtt_percent = 100;
+  // Seeded per-gap jitter amplitude in percent of the nominal gap (0 =
+  // perfectly even spacing).
+  std::uint32_t jitter_percent = 10;
+
+  [[nodiscard]] constexpr bool paced() const noexcept {
+    return mode == PacingMode::Paced;
+  }
+  friend constexpr bool operator==(const PacingPolicy&,
+                                   const PacingPolicy&) = default;
+};
+
 struct IwConfig {
   IwPolicy policy = IwPolicy::Segments;
   std::uint32_t segments = 10;  // used when policy == Segments
   std::uint32_t bytes = 4096;   // used when policy == Bytes
+  PacingPolicy pacing{};        // how the first flight leaves the host
 
   [[nodiscard]] constexpr std::uint32_t initial_cwnd(std::uint16_t mss) const noexcept {
     if (policy == IwPolicy::Bytes) return std::max(bytes, std::uint32_t{mss});
@@ -66,6 +95,26 @@ struct IwConfig {
   [[nodiscard]] static constexpr IwConfig bytes_of(std::uint32_t n) noexcept {
     return IwConfig{IwPolicy::Bytes, 0, n};
   }
+
+  // CDN-scale presets from the follow-up study: segment tiers IW16/32/50
+  // and byte-budget tiers (edge configs that provision the first flight in
+  // kilobytes, like the §4.2 byte-counted hosts but far larger).
+  [[nodiscard]] static constexpr IwConfig iw16() noexcept { return segments_of(16); }
+  [[nodiscard]] static constexpr IwConfig iw32() noexcept { return segments_of(32); }
+  [[nodiscard]] static constexpr IwConfig iw50() noexcept { return segments_of(50); }
+  [[nodiscard]] static constexpr IwConfig byte_tier_kib(std::uint32_t kib) noexcept {
+    return bytes_of(kib * 1024);
+  }
+
+  /// Copy of this config with a paced first flight.
+  [[nodiscard]] constexpr IwConfig paced_over(
+      std::uint32_t spread_rtt_percent, std::uint32_t jitter_percent = 10) const noexcept {
+    IwConfig out = *this;
+    out.pacing = PacingPolicy{PacingMode::Paced, spread_rtt_percent, jitter_percent};
+    return out;
+  }
+
+  friend constexpr bool operator==(const IwConfig&, const IwConfig&) = default;
 };
 
 struct StackConfig {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "tcpstack/pacing.hpp"
 #include "tcpstack/seq.hpp"
 #include "util/logging.hpp"
+#include "util/rng.hpp"
 
 namespace iwscan::tcp {
 
@@ -38,6 +40,7 @@ TcpConnection::TcpConnection(sim::EventLoop& loop, const StackConfig& config,
   buffer_start_seq_ = iss_ + 1;
 
   rto_ = config_.rto_initial;
+  synack_sent_at_ = loop_.now();
   send_syn_ack();
   arm_retransmit();
   touch_idle_timer();
@@ -46,6 +49,7 @@ TcpConnection::TcpConnection(sim::EventLoop& loop, const StackConfig& config,
 TcpConnection::~TcpConnection() {
   loop_.cancel(retx_event_);
   loop_.cancel(idle_event_);
+  for (const auto id : pacing_events_) loop_.cancel(id);
 }
 
 std::uint32_t TcpConnection::bytes_in_flight() const noexcept {
@@ -94,6 +98,9 @@ void TcpConnection::on_segment(const net::TcpSegment& segment) {
     state_ = TcpState::Established;
     snd_una_ = segment.tcp.ack;
     rwnd_ = segment.tcp.window;
+    // Handshake RTT (Karn: measured against the first SYN/ACK transmission)
+    // — the pacing schedule spreads the first flight over a slice of it.
+    handshake_rtt_ = loop_.now() - synack_sent_at_;
     loop_.cancel(retx_event_);
     retx_event_ = sim::kNullEvent;
     retx_count_ = 0;
@@ -135,6 +142,11 @@ void TcpConnection::handle_ack(const net::TcpSegment& segment) {
 
   const std::uint32_t acked = seq_diff(ack, snd_una_);
   snd_una_ = ack;
+
+  // A data ACK while pacing releases the remaining first flight at once:
+  // the receiver is reading, so the window is governed by slow start from
+  // here on (and the verify-phase ACK must trigger an immediate burst).
+  if (pacing_active_) cancel_pacing();
 
   // Trim acknowledged bytes off the retransmission buffer.
   if (seq_gt(ack, buffer_start_seq_)) {
@@ -222,8 +234,23 @@ void TcpConnection::abort() {
   enter_closed();
 }
 
+void TcpConnection::set_initial_window(const IwConfig& iw) {
+  if (state_ == TcpState::Closed || first_flight_started_ ||
+      stats_.bytes_sent != 0) {
+    return;
+  }
+  config_.iw = iw;
+  cwnd_ = iw.initial_cwnd(mss_);
+}
+
 void TcpConnection::try_send() {
   if (state_ != TcpState::Established && state_ != TcpState::CloseWait) {
+    return;
+  }
+  if (pacing_active_) return;  // slot timers own transmission
+  if (config_.iw.pacing.paced() && !first_flight_started_ &&
+      unsent_bytes() > 0) {
+    start_paced_first_flight();
     return;
   }
   const std::uint32_t window = send_window();
@@ -269,6 +296,80 @@ void TcpConnection::try_send() {
   }
 
   if (sent_any && bytes_in_flight() > 0) arm_retransmit();
+}
+
+void TcpConnection::start_paced_first_flight() {
+  first_flight_started_ = true;
+  // Schedule seed: (ISS, peer address) — unique per connection, stable per
+  // replay, and independent of anything the scanner controls beyond timing.
+  const auto schedule =
+      build_pacing_schedule(config_.iw, mss_, handshake_rtt_, rto_,
+                            util::mix64(iss_, remote_addr_.value()));
+  if (schedule.empty()) return;
+  pacing_slots_total_ = schedule.size();
+  pacing_active_ = true;
+  // iwlint: allow(hot-path) -- once per connection at first-flight start;
+  // bounded by the slot count of one initial window
+  pacing_events_.assign(schedule.size(), sim::kNullEvent);
+  // iwlint: allow(hot-path) -- same once-per-connection slot table as above
+  pacing_slot_bytes_.resize(schedule.size());
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    pacing_slot_bytes_[i] = schedule[i].bytes;
+  }
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    pacing_events_[i] =
+        loop_.schedule(schedule[i].offset, [this, i] { on_pacing_slot(i); });
+  }
+  // Slot 0 fires inline (offset zero by construction); the RTO is armed
+  // here, once, so the retransmission the scanner waits for comes exactly
+  // one RTO after the first data segment — pacing must not reset it.
+  on_pacing_slot(0);
+}
+
+void TcpConnection::on_pacing_slot(std::size_t index) {
+  if (index < pacing_events_.size()) pacing_events_[index] = sim::kNullEvent;
+  if (state_ == TcpState::Closed || !pacing_active_) return;
+  const bool last_slot = index + 1 == pacing_slots_total_;
+  emit_paced_chunk(pacing_slot_bytes_[index], last_slot);
+  if (index == 0 && bytes_in_flight() > 0) arm_retransmit();
+  if (!last_slot) return;
+
+  pacing_active_ = false;
+  // The flight is out. A trailing FIN rides its own segment (without
+  // re-arming the RTO: the timer from slot 0 already covers everything
+  // unacked); residual window-limited data waits for the next ACK.
+  if (fin_pending_ && !fin_sent_ && unsent_bytes() == 0) {
+    emit_segment(snd_nxt_, {}, net::kFin | net::kAck, /*retransmission=*/false);
+    fin_sent_ = true;
+    snd_nxt_ += 1;
+    state_ =
+        state_ == TcpState::CloseWait ? TcpState::LastAck : TcpState::FinWait1;
+  }
+}
+
+void TcpConnection::emit_paced_chunk(std::uint32_t chunk_bytes, bool last_slot) {
+  const std::uint32_t unsent = unsent_bytes();
+  const std::uint32_t window = send_window();
+  const std::uint32_t in_flight = bytes_in_flight();
+  const std::uint32_t room = in_flight >= window ? 0 : window - in_flight;
+  const std::uint32_t chunk = std::min({chunk_bytes, unsent, room});
+  if (chunk == 0) return;
+  const std::uint32_t offset = seq_diff(snd_nxt_, buffer_start_seq_);
+  const auto payload =
+      std::span<const std::uint8_t>(buffer_).subspan(offset, chunk);
+  std::uint8_t flags = net::kAck;
+  if (last_slot || chunk == unsent) flags |= net::kPsh;
+  emit_segment(snd_nxt_, payload, flags, /*retransmission=*/false);
+  stats_.bytes_sent += chunk;
+  snd_nxt_ += chunk;
+}
+
+void TcpConnection::cancel_pacing() {
+  for (auto& id : pacing_events_) {
+    loop_.cancel(id);
+    id = sim::kNullEvent;
+  }
+  pacing_active_ = false;
 }
 
 void TcpConnection::emit_segment(std::uint32_t seq,
@@ -328,6 +429,7 @@ void TcpConnection::arm_retransmit() {
 void TcpConnection::on_retransmit_timeout() {
   retx_event_ = sim::kNullEvent;
   if (state_ == TcpState::Closed) return;
+  if (pacing_active_) cancel_pacing();  // the RTO path owns transmission now
   if (++retx_count_ > config_.max_retransmits) {
     enter_closed();
     return;
@@ -374,6 +476,7 @@ void TcpConnection::on_idle_timeout() {
 void TcpConnection::enter_closed() {
   if (state_ == TcpState::Closed) return;
   state_ = TcpState::Closed;
+  cancel_pacing();
   loop_.cancel(retx_event_);
   retx_event_ = sim::kNullEvent;
   loop_.cancel(idle_event_);

@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "netbase/packet.hpp"
 #include "netsim/event_loop.hpp"
@@ -76,6 +77,10 @@ class TcpConnection {
   void close();
   /// Abort with RST.
   void abort();
+  /// Swap the initial-window policy before any payload has been sent — the
+  /// per-vhost hook (same IP, different Host/SNI → different IwConfig).
+  /// A no-op once the first flight started or the connection closed.
+  void set_initial_window(const IwConfig& iw);
 
   // --- Introspection --------------------------------------------------
   [[nodiscard]] TcpState state() const noexcept { return state_; }
@@ -99,6 +104,10 @@ class TcpConnection {
   void handle_ack(const net::TcpSegment& segment);
   void handle_payload(const net::TcpSegment& segment);
   void try_send();
+  void start_paced_first_flight();
+  void on_pacing_slot(std::size_t index);
+  void emit_paced_chunk(std::uint32_t chunk_bytes, bool last_slot);
+  void cancel_pacing();
   void emit_segment(std::uint32_t seq, std::span<const std::uint8_t> payload,
                     std::uint8_t flags, bool retransmission);
   void send_pure_ack();
@@ -149,6 +158,19 @@ class TcpConnection {
   sim::EventId idle_event_ = sim::kNullEvent;
   sim::SimTime rto_{};
   int retx_count_ = 0;
+
+  // First-flight pacing (PacingMode::Paced). The handshake RTT is measured
+  // SYN/ACK → handshake ACK; slot timers release the initial window over
+  // the schedule from build_pacing_schedule(). A data ACK or an RTO cancels
+  // the remaining slots (the window is then governed by slow start / the
+  // retransmit path as usual).
+  sim::SimTime synack_sent_at_{};
+  sim::SimTime handshake_rtt_{};
+  std::vector<sim::EventId> pacing_events_;
+  std::vector<std::uint32_t> pacing_slot_bytes_;
+  std::size_t pacing_slots_total_ = 0;
+  bool pacing_active_ = false;
+  bool first_flight_started_ = false;
 
   ConnectionStats stats_;
 };

@@ -1,0 +1,73 @@
+#include "tcpstack/pacing.hpp"
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace iwscan::tcp {
+
+namespace {
+
+/// floor(value * num / den) with a 128-bit intermediate: exact for any
+/// 64-bit operands, which keeps slot offsets overflow-free even for the
+/// hostile RTT/RTO magnitudes the fuzz driver feeds in.
+[[nodiscard]] std::uint64_t scale_u64(std::uint64_t value, std::uint64_t num,
+                                      std::uint64_t den) noexcept {
+  if (den == 0) return 0;
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(value) * num) / den);
+}
+
+}  // namespace
+
+std::vector<PacingSlot> build_pacing_schedule(const IwConfig& iw,
+                                              std::uint16_t mss, sim::SimTime rtt,
+                                              sim::SimTime rto_deadline,
+                                              std::uint64_t seed) {
+  const std::uint32_t cwnd = iw.initial_cwnd(mss);
+  const std::uint32_t seg = std::max<std::uint32_t>(mss, 1);
+  const std::size_t slots = (cwnd + seg - 1) / seg;
+
+  std::vector<PacingSlot> schedule(slots);
+  for (std::size_t i = 0; i < slots; ++i) {
+    const std::uint64_t sent = static_cast<std::uint64_t>(i) * seg;
+    schedule[i].bytes =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(seg, cwnd - sent));
+  }
+  if (!iw.pacing.paced() || slots <= 1) return schedule;
+
+  const std::uint64_t rtt_ns =
+      rtt.count() > 0 ? static_cast<std::uint64_t>(rtt.count()) : 0;
+  const std::uint64_t deadline_ns =
+      rto_deadline.count() > 0 ? static_cast<std::uint64_t>(rto_deadline.count())
+                               : 0;
+  // Spread the flight over spread_rtt_percent of the RTT, but never past
+  // 9/10 of the RTO deadline: a sender that paced into its own retransmit
+  // timer would manufacture the very signal the scanner waits for.
+  const std::uint64_t span_ns =
+      std::min(scale_u64(rtt_ns, iw.pacing.spread_rtt_percent, 100),
+               scale_u64(deadline_ns, 9, 10));
+  if (span_ns == 0) return schedule;
+
+  // Per-gap weights 1000 ± 10·jitter_percent from a dedicated seeded
+  // stream; offsets are the prefix sums rescaled onto [0, span] in exact
+  // integer arithmetic, so the last slot lands on the span boundary.
+  const std::uint64_t jitter =
+      10 * std::min<std::uint64_t>(iw.pacing.jitter_percent, 99);
+  util::Rng rng(seed);
+  std::vector<std::uint64_t> prefix(slots, 0);
+  std::uint64_t total = 0;
+  for (std::size_t gap = 1; gap < slots; ++gap) {
+    const std::uint64_t weight =
+        jitter == 0 ? 1000 : rng.between(1000 - jitter, 1000 + jitter);
+    total += weight;
+    prefix[gap] = total;
+  }
+  for (std::size_t i = 1; i < slots; ++i) {
+    schedule[i].offset = sim::SimTime(
+        static_cast<sim::SimTime::rep>(scale_u64(span_ns, prefix[i], total)));
+  }
+  return schedule;
+}
+
+}  // namespace iwscan::tcp

@@ -1,0 +1,39 @@
+// Seeded-deterministic first-flight pacing schedules.
+//
+// A paced sender (PacingMode::Paced) does not burst its initial window: it
+// slices cwnd_0 into MSS-sized slots and spreads them over a fraction of
+// the handshake RTT, with per-gap jitter drawn from a seeded stream. The
+// schedule is a pure function of (IwConfig, mss, rtt, rto_deadline, seed),
+// so the same connection replays byte- and time-identically — the property
+// the fuzz driver (tests/fuzz/fuzz_pacing_schedule.cpp) and the scenario
+// battery pin.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/event_loop.hpp"
+#include "tcpstack/config.hpp"
+
+namespace iwscan::tcp {
+
+struct PacingSlot {
+  sim::SimTime offset{};    // delay from the first flight's start
+  std::uint32_t bytes = 0;  // payload bytes released at this slot
+};
+
+/// Build the first-flight schedule for `iw` at effective segment size `mss`.
+///
+/// Invariants (for any inputs):
+///   * deterministic in (iw, mss, rtt, rto_deadline, seed);
+///   * the slot byte counts sum to exactly iw.initial_cwnd(mss);
+///   * offsets are monotone non-decreasing and the first is zero;
+///   * no offset lands at or past `rto_deadline` (the spread is capped at
+///     9/10 of it), so pacing never races the sender's own RTO;
+///   * Burst mode, a single-slot window, or a non-positive deadline yield
+///     an all-zero-offset (burst) schedule.
+[[nodiscard]] std::vector<PacingSlot> build_pacing_schedule(
+    const IwConfig& iw, std::uint16_t mss, sim::SimTime rtt,
+    sim::SimTime rto_deadline, std::uint64_t seed);
+
+}  // namespace iwscan::tcp

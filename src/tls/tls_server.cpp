@@ -55,6 +55,14 @@ void TlsServerApp::on_data(tcp::TcpConnection& conn,
     return;
   }
 
+  // Per-vhost IW: a ClientHello naming this edge's vhost via SNI is served
+  // from the vhost's (larger) first-flight config. Must precede the
+  // ServerHello flight — set_initial_window is a no-op once data has flown.
+  if (config_.sni_iw && hello->server_name &&
+      !config_.server_name.empty() && *hello->server_name == config_.server_name) {
+    conn.set_initial_window(*config_.sni_iw);
+  }
+
   send_first_flight(conn, *hello);
 }
 

@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "tcpstack/config.hpp"
 #include "tls/ciphers.hpp"
 
 namespace iwscan::tls {
@@ -25,6 +27,11 @@ struct TlsConfig {
   std::uint16_t hello_extra_bytes = 140;  // realistic ServerHello extensions
   std::string server_name;         // certificate subject hint
   std::uint64_t seed = 0;
+  // Per-vhost IW split (CDN edges): a ClientHello whose SNI names
+  // `server_name` is answered with this IwConfig instead of the listener's
+  // default — applied before the ServerHello flight, so SNI-less probing
+  // measures a different window than named probing.
+  std::optional<tcp::IwConfig> sni_iw;
 };
 
 }  // namespace iwscan::tls

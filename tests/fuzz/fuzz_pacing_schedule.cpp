@@ -1,0 +1,219 @@
+// Structured fuzz driver for the first-flight pacing schedule.
+//
+// Properties under test (the invariants pacing.hpp documents): for ANY
+// decoded (IwConfig, mss, rtt, rto_deadline, seed) tuple the schedule is
+//   * deterministic — building it twice yields identical slots;
+//   * byte-exact — slot bytes sum to exactly iw.initial_cwnd(mss) and no
+//     slot exceeds the effective segment size;
+//   * monotone — offsets never decrease and the first is zero;
+//   * RTO-safe — no slot lands at or past the retransmit deadline (the
+//     spread is capped at 9/10 of it), so a paced sender never manufactures
+//     the very retransmission the scanner keys on;
+//   * burst-faithful — Burst mode, a single-slot window, or a non-positive
+//     span collapse to an all-zero-offset schedule.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+
+#include "fuzz_harness.hpp"
+#include "tcpstack/pacing.hpp"
+
+namespace {
+
+using iwscan::fuzz::Input;
+
+void require(bool condition, const char* what) {
+  if (!condition) {
+    std::fprintf(stderr, "pacing property violated: %s\n", what);
+    std::abort();
+  }
+}
+
+/// Little-endian field reader; missing bytes read as zero so truncated
+/// mutations still decode to a valid (if degenerate) parameter tuple.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint64_t take(std::size_t bytes) {
+    std::uint64_t value = 0;
+    for (std::size_t i = 0; i < bytes; ++i) {
+      const std::uint8_t byte = at_ < data_.size() ? data_[at_++] : 0;
+      value |= static_cast<std::uint64_t>(byte) << (8 * i);
+    }
+    return value;
+  }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t at_ = 0;
+};
+
+struct Decoded {
+  iwscan::tcp::IwConfig iw;
+  std::uint16_t mss = 0;
+  iwscan::sim::SimTime rtt{};
+  iwscan::sim::SimTime deadline{};
+  std::uint64_t seed = 0;
+};
+
+/// Map arbitrary bytes onto a parameter tuple. Sizes are bounded (segments
+/// ≤ 4096, byte budgets ≤ 256 KiB) so a hostile input cannot OOM the
+/// driver; times span [-1s, ~50min] in nanoseconds to cover negative,
+/// zero, and far-beyond-RTO magnitudes.
+Decoded decode(std::span<const std::uint8_t> data) {
+  namespace tcp = iwscan::tcp;
+  Reader in(data);
+  Decoded d;
+
+  const auto flags = static_cast<std::uint8_t>(in.take(1));
+  d.iw.policy = (flags & 1) != 0 ? tcp::IwPolicy::Bytes : tcp::IwPolicy::Segments;
+  d.iw.pacing.mode =
+      (flags & 2) != 0 ? tcp::PacingMode::Paced : tcp::PacingMode::Burst;
+  d.iw.segments = static_cast<std::uint32_t>(in.take(2) % 4097);
+  d.iw.bytes = static_cast<std::uint32_t>(in.take(4) % ((256u << 10) + 1));
+  d.iw.pacing.spread_rtt_percent = static_cast<std::uint32_t>(in.take(4));
+  d.iw.pacing.jitter_percent = static_cast<std::uint32_t>(in.take(4));
+  d.mss = static_cast<std::uint16_t>(in.take(2));
+
+  constexpr std::uint64_t kTimeSpan = 3'000'000'000'000ULL;  // 3000 s in ns
+  constexpr std::int64_t kTimeFloor = -1'000'000'000;        // -1 s
+  d.rtt = iwscan::sim::SimTime(
+      kTimeFloor + static_cast<std::int64_t>(in.take(8) % kTimeSpan));
+  d.deadline = iwscan::sim::SimTime(
+      kTimeFloor + static_cast<std::int64_t>(in.take(8) % kTimeSpan));
+  d.seed = in.take(8);
+  return d;
+}
+
+/// floor(value·num/den), the same exact arithmetic pacing.cpp uses — the
+/// oracle for the span cap must truncate identically.
+std::uint64_t scale_u64(std::uint64_t value, std::uint64_t num,
+                        std::uint64_t den) {
+  if (den == 0) return 0;
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(value) * num) / den);
+}
+
+void fuzz_one(std::span<const std::uint8_t> data) {
+  namespace tcp = iwscan::tcp;
+  const Decoded d = decode(data);
+
+  const auto schedule =
+      tcp::build_pacing_schedule(d.iw, d.mss, d.rtt, d.deadline, d.seed);
+  const auto again =
+      tcp::build_pacing_schedule(d.iw, d.mss, d.rtt, d.deadline, d.seed);
+
+  require(schedule.size() == again.size(), "rebuild changed the slot count");
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    require(schedule[i].offset == again[i].offset &&
+                schedule[i].bytes == again[i].bytes,
+            "rebuild changed a slot (schedule is not deterministic)");
+  }
+
+  const std::uint32_t cwnd = d.iw.initial_cwnd(d.mss);
+  const std::uint32_t seg = d.mss > 0 ? d.mss : 1;
+  require(schedule.size() == (cwnd + seg - 1) / seg,
+          "slot count is not ceil(cwnd/mss)");
+
+  std::uint64_t total_bytes = 0;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    require(schedule[i].bytes > 0 && schedule[i].bytes <= seg,
+            "slot bytes outside (0, mss]");
+    total_bytes += schedule[i].bytes;
+    if (i > 0) {
+      require(schedule[i].offset >= schedule[i - 1].offset,
+              "offsets are not monotone non-decreasing");
+    }
+  }
+  require(total_bytes == cwnd, "slot bytes do not sum to the initial cwnd");
+  if (!schedule.empty()) {
+    require(schedule.front().offset == iwscan::sim::SimTime{},
+            "first slot is not immediate");
+  }
+
+  // The span oracle, truncating exactly like the implementation: spread% of
+  // the RTT, capped at 9/10 of the RTO deadline (negative times clamp to 0).
+  const std::uint64_t rtt_ns =
+      d.rtt.count() > 0 ? static_cast<std::uint64_t>(d.rtt.count()) : 0;
+  const std::uint64_t deadline_ns =
+      d.deadline.count() > 0 ? static_cast<std::uint64_t>(d.deadline.count()) : 0;
+  const std::uint64_t span_ns =
+      std::min(scale_u64(rtt_ns, d.iw.pacing.spread_rtt_percent, 100),
+               scale_u64(deadline_ns, 9, 10));
+
+  const bool bursts =
+      !d.iw.pacing.paced() || schedule.size() <= 1 || span_ns == 0;
+  for (const auto& slot : schedule) {
+    if (bursts) {
+      require(slot.offset == iwscan::sim::SimTime{},
+              "burst-mode schedule has a nonzero offset");
+      continue;
+    }
+    require(static_cast<std::uint64_t>(slot.offset.count()) <= span_ns,
+            "slot offset exceeds the pacing span");
+    require(deadline_ns == 0 ||
+                static_cast<std::uint64_t>(slot.offset.count()) < deadline_ns,
+            "slot lands at or past the RTO deadline");
+  }
+  if (!bursts) {
+    require(static_cast<std::uint64_t>(schedule.back().offset.count()) ==
+                span_ns,
+            "last slot does not land on the span boundary");
+  }
+}
+
+/// Well-formed seeds: the presets the simulator actually uses (IW10 burst,
+/// CDN tiers paced over various spreads, a byte tier, jitter-free spacing,
+/// and a deadline tight enough to engage the 9/10 cap).
+std::vector<Input> fuzz_corpus() {
+  namespace tcp = iwscan::tcp;
+  struct Seed {
+    tcp::IwConfig iw;
+    std::uint16_t mss;
+    std::int64_t rtt_ns;
+    std::int64_t deadline_ns;
+    std::uint64_t seed;
+  };
+  const Seed seeds[] = {
+      {tcp::IwConfig::segments_of(10), 64, 20'000'000, 1'000'000'000, 1},
+      {tcp::IwConfig::iw16().paced_over(400, 0), 64, 20'000'000,
+       1'000'000'000, 0x5eedULL},
+      {tcp::IwConfig::iw50().paced_over(800), 128, 120'000'000,
+       1'000'000'000, 42},
+      {tcp::IwConfig::byte_tier_kib(16).paced_over(1200), 64, 240'000'000,
+       1'000'000'000, 7},
+      {tcp::IwConfig::iw32().paced_over(10'000), 128, 500'000'000,
+       100'000'000, 3},  // spread far past the deadline: the 9/10 cap rules
+  };
+
+  std::vector<Input> corpus;
+  for (const auto& s : seeds) {
+    Input bytes;
+    auto put = [&bytes](std::uint64_t value, std::size_t n) {
+      for (std::size_t i = 0; i < n; ++i) {
+        bytes.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+      }
+    };
+    std::uint8_t flags = 0;
+    if (s.iw.policy == tcp::IwPolicy::Bytes) flags |= 1;
+    if (s.iw.pacing.paced()) flags |= 2;
+    put(flags, 1);
+    put(s.iw.segments, 2);
+    put(s.iw.bytes, 4);
+    put(s.iw.pacing.spread_rtt_percent, 4);
+    put(s.iw.pacing.jitter_percent, 4);
+    put(s.mss, 2);
+    constexpr std::int64_t kTimeFloor = -1'000'000'000;
+    put(static_cast<std::uint64_t>(s.rtt_ns - kTimeFloor), 8);
+    put(static_cast<std::uint64_t>(s.deadline_ns - kTimeFloor), 8);
+    put(s.seed, 8);
+    corpus.push_back(std::move(bytes));
+  }
+  return corpus;
+}
+
+}  // namespace
+
+IWSCAN_FUZZ_DRIVER(fuzz_one, fuzz_corpus)
